@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Fig 10: (a,b) the memcpy-vs-kernel time split of the GPU
+ * implementations; (c) the data-movement split inside GENESYS;
+ * (d) on-device memory footprint of GPU_a vs GPU_b vs GENESYS.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "common/table.hh"
+#include "core/experiment.hh"
+
+using namespace genesys;
+using namespace genesys::core;
+using platform::PlatformId;
+using platform::PlatformModel;
+
+int
+main()
+{
+    std::map<std::string, WorkloadRun> runs;
+    std::map<std::string, platform::WorkloadProfile> profiles;
+    uint64_t seed = 31;
+    for (const auto &spec : evaluationSuite()) {
+        runs.emplace(spec.envName, runWorkload(spec, seed++, true));
+        profiles.emplace(spec.envName,
+                         profileFromRun(runs.at(spec.envName)));
+    }
+
+    // --- Fig 10(a,b): GPU time split ----------------------------------------
+    for (auto id : {PlatformId::GPU_a, PlatformId::GPU_b}) {
+        Table t("Fig 10(" +
+                std::string(id == PlatformId::GPU_a ? "a" : "b") +
+                "): time split during inference, " +
+                platform::platformName(id) + " (ms per generation)");
+        t.setHeader({"Environment", "MemCpyHtoD", "MemCpyDtoH",
+                     "Kernel", "transfer share"});
+        for (const auto &[env, p] : profiles) {
+            const auto b = PlatformModel(id).inferenceBreakdown(p);
+            t.addRow({env, Table::num(b.memcpyHtoDSeconds * 1e3, 3),
+                      Table::num(b.memcpyDtoHSeconds * 1e3, 3),
+                      Table::num(b.kernelSeconds * 1e3, 3),
+                      Table::num(b.transferFraction() * 100, 1) + "%"});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    std::cout << "Paper: memory transfers take ~70% of runtime in "
+                 "GPU_a, ~20% in GPU_b.\n\n";
+
+    // --- Fig 10(c): GENESYS split -----------------------------------------------
+    {
+        Table t("Fig 10(c): GENESYS inference time split (ms per "
+                "generation)");
+        t.setHeader({"Environment", "Scratchpad->ADAM",
+                     "ADAM->Scratchpad", "Inference in ADAM",
+                     "transfer share"});
+        for (const auto &[env, run] : runs) {
+            double to_adam = 0, from_adam = 0, compute = 0;
+            for (const auto &r : run.reports) {
+                to_adam += r.hw.toAdamSeconds;
+                from_adam += r.hw.fromAdamSeconds;
+                compute += r.hw.inferenceComputeSeconds;
+            }
+            const double n = std::max<size_t>(1, run.reports.size());
+            const double total =
+                (to_adam + from_adam + compute) / n;
+            t.addRow({env, Table::num(to_adam / n * 1e3, 4),
+                      Table::num(from_adam / n * 1e3, 4),
+                      Table::num(compute / n * 1e3, 4),
+                      Table::num((to_adam + from_adam) / n /
+                                     std::max(1e-12, total) * 100,
+                                 1) +
+                          "%"});
+        }
+        t.print(std::cout);
+        std::cout << "Paper: GENESYS spends ~15% on (on-chip) data "
+                     "movement; absolute runtime ~1000x below the "
+                     "GPUs because nothing crosses PCIe.\n\n";
+    }
+
+    // --- Fig 10(d): memory footprint --------------------------------------------
+    {
+        Table t("Fig 10(d): on-device memory requirement (bytes, log "
+                "scale in the paper)");
+        t.setHeader({"Environment", "GPU_a", "GPU_b", "GENESYS"});
+        for (const char *env : {"MountainCar_v0", "Amidar-ram-v0"}) {
+            const auto &p = profiles.at(env);
+            t.addRow({env,
+                      Table::sci(static_cast<double>(
+                          PlatformModel(PlatformId::GPU_a)
+                              .footprintBytes(p))),
+                      Table::sci(static_cast<double>(
+                          PlatformModel(PlatformId::GPU_b)
+                              .footprintBytes(p))),
+                      Table::sci(static_cast<double>(p.totalGenes * 8))});
+        }
+        t.print(std::cout);
+        std::cout << "Paper shape: GENESYS ~100x above GPU_a (stores "
+                     "the whole population as genomes)\nand far below "
+                     "GPU_b (which keeps padded sparse tensors for "
+                     "every genome).\n";
+    }
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fig 8: (a) the GeneSys SoC parameter table at the published design
+ * point; (b) roofline power as a function of EvE PE count; (c) area
+ * footprint over the same sweep.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "hw/energy_model.hh"
+
+using namespace genesys;
+using namespace genesys::hw;
+
+int
+main()
+{
+    EnergyModel model;
+
+    // --- Fig 8(a): design-point parameters -----------------------------------
+    {
+        SocParams soc;
+        const auto p = model.rooflinePower(soc);
+        const auto a = model.area(soc);
+        Table t("Fig 8(a): GeneSys parameters (15 nm design point)");
+        t.setHeader({"Parameter", "Value"});
+        t.addRow({"Tech node", "15nm"});
+        t.addRow({"Num EvE PE", Table::integer(soc.numEvePe)});
+        t.addRow({"Num ADAM PE", Table::integer(soc.adamMacs())});
+        t.addRow({"EvE Area", Table::num(a.eveMm2, 2) + " mm2"});
+        t.addRow({"ADAM Area", Table::num(a.adamMm2, 2) + " mm2"});
+        t.addRow({"GeneSys Area", Table::num(a.totalMm2(), 2) + " mm2"});
+        t.addRow({"Power", Table::num(p.totalMw(), 1) + " mW"});
+        t.addRow({"Frequency",
+                  Table::num(soc.frequencyHz / 1e6, 0) + " MHz"});
+        t.addRow({"SRAM banks", Table::integer(soc.sramBanks)});
+        t.addRow({"SRAM size",
+                  Table::num(soc.sramKiB / 1024.0, 1) + " MB"});
+        t.print(std::cout);
+        std::cout << "Paper: EvE 0.89 mm2, ADAM 0.25 mm2, SoC 2.45 mm2, "
+                     "947.5 mW @ 200 MHz.\n\n";
+    }
+
+    const int sweep[] = {2, 4, 8, 16, 32, 64, 128, 256, 512};
+
+    // --- Fig 8(b): power vs #EvE PE -------------------------------------------
+    {
+        Table t("Fig 8(b): roofline power vs number of EvE PEs (mW)");
+        t.setHeader({"EvE PEs", "EvE power", "SRAM power", "ADAM power",
+                     "M0 power", "Net power"});
+        for (int n : sweep) {
+            SocParams soc;
+            soc.numEvePe = n;
+            const auto p = model.rooflinePower(soc);
+            t.addRow({Table::integer(n), Table::num(p.eveMw, 1),
+                      Table::num(p.sramMw, 1), Table::num(p.adamMw, 1),
+                      Table::num(p.m0Mw, 1),
+                      Table::num(p.totalMw(), 1)});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // --- power gating (Section VI-D discussion) -------------------------------
+    {
+        Table t("Power gating: average power vs compute duty cycle "
+                "(256 PEs; Section VI-D: real environments interact "
+                "far slower than the SoC computes)");
+        t.setHeader({"busy fraction", "average power (mW)",
+                     "vs roofline"});
+        SocParams soc;
+        const double roof = model.rooflinePower(soc).totalMw();
+        for (double duty : {1.0, 0.5, 0.1, 0.01, 0.001}) {
+            const double p = model.gatedPower(soc, duty).totalMw();
+            t.addRow({Table::num(duty, 3), Table::num(p, 1),
+                      Table::num(p / roof * 100.0, 1) + "%"});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // --- Fig 8(c): area vs #EvE PE ----------------------------------------------
+    {
+        Table t("Fig 8(c): area footprint vs number of EvE PEs (mm2)");
+        t.setHeader({"EvE PEs", "EvE area", "SRAM area", "ADAM area",
+                     "M0 area", "Total"});
+        for (int n : sweep) {
+            SocParams soc;
+            soc.numEvePe = n;
+            const auto a = model.area(soc);
+            t.addRow({Table::integer(n), Table::num(a.eveMm2, 3),
+                      Table::num(a.sramMm2, 3), Table::num(a.adamMm2, 3),
+                      Table::num(a.m0Mm2, 3),
+                      Table::num(a.totalMm2(), 3)});
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Table III + Fig 9: per-generation inference/evolution runtime and
+ * energy across the baseline platforms (analytical models driven by
+ * measured workload profiles) and GENESYS (the SoC simulator).
+ *
+ * Units: microseconds / microjoules. The paper's axes are unitless
+ * log scales; what must (and does) reproduce is the ordering and the
+ * orders-of-magnitude gaps.
+ */
+
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "common/table.hh"
+#include "core/experiment.hh"
+
+using namespace genesys;
+using namespace genesys::core;
+using platform::PlatformId;
+using platform::PlatformModel;
+
+namespace
+{
+
+struct EnvResult
+{
+    platform::WorkloadProfile profile;
+    /** GENESYS per-generation means from the SoC simulator. */
+    double genesysInferenceS = 0.0;
+    double genesysEvolutionS = 0.0;
+    double genesysInferenceJ = 0.0;
+    double genesysEvolutionJ = 0.0;
+};
+
+EnvResult
+measure(const WorkloadSpec &spec, uint64_t seed)
+{
+    EnvResult r;
+    const auto run = runWorkload(spec, seed, true);
+    r.profile = profileFromRun(run);
+    int gens = 0;
+    for (const auto &rep : run.reports) {
+        r.genesysInferenceS += rep.hw.inferenceSeconds();
+        r.genesysEvolutionS += rep.hw.evolutionSeconds;
+        r.genesysInferenceJ += rep.hw.inferenceEnergyJ;
+        r.genesysEvolutionJ += rep.hw.evolutionEnergyJ;
+        ++gens;
+    }
+    if (gens > 0) {
+        r.genesysInferenceS /= gens;
+        r.genesysEvolutionS /= gens;
+        r.genesysInferenceJ /= gens;
+        r.genesysEvolutionJ /= gens;
+    }
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    // --- Table III -----------------------------------------------------------
+    {
+        Table t("Table III: target system configurations");
+        t.setHeader({"Legend", "Inference", "Evolution", "Platform"});
+        for (auto id : platform::allPlatforms()) {
+            t.addRow({platform::platformName(id),
+                      platform::platformInferenceStrategy(id),
+                      platform::platformEvolutionStrategy(id),
+                      platform::platformDevice(id)});
+        }
+        t.addRow({"GENESYS", "PLP", "PLP + GLP", "GENESYS"});
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::map<std::string, EnvResult> results;
+    uint64_t seed = 21;
+    for (const auto &spec : evaluationSuite())
+        results.emplace(spec.envName, measure(spec, seed++));
+
+    auto row_for = [&](const std::string &env, auto &&fn) {
+        std::vector<std::string> row{env};
+        const auto &r = results.at(env);
+        fn(row, r);
+        return row;
+    };
+
+    // --- Fig 9(a): inference runtime, desktop platforms -----------------------
+    {
+        Table t("Fig 9(a): inference runtime per generation (us, log "
+                "scale in the paper)");
+        t.setHeader({"Environment", "CPU_a", "CPU_b", "GPU_a", "GPU_b",
+                     "GENESYS"});
+        for (const auto &[env, r] : results) {
+            t.addRow(row_for(env, [](auto &row, const EnvResult &r) {
+                for (auto id : {PlatformId::CPU_a, PlatformId::CPU_b,
+                                PlatformId::GPU_a, PlatformId::GPU_b}) {
+                    row.push_back(Table::sci(
+                        PlatformModel(id).inferenceSeconds(r.profile) *
+                        1e6));
+                }
+                row.push_back(Table::sci(r.genesysInferenceS * 1e6));
+            }));
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // --- Fig 9(b): inference energy, embedded platforms + GENESYS --------------
+    {
+        Table t("Fig 9(b): inference energy per generation (uJ)");
+        t.setHeader({"Environment", "CPU_c", "CPU_d", "GPU_c", "GPU_d",
+                     "GENESYS"});
+        for (const auto &[env, r] : results) {
+            t.addRow(row_for(env, [](auto &row, const EnvResult &r) {
+                for (auto id : {PlatformId::CPU_c, PlatformId::CPU_d,
+                                PlatformId::GPU_c, PlatformId::GPU_d}) {
+                    row.push_back(Table::sci(
+                        PlatformModel(id).inferenceEnergyJ(r.profile) *
+                        1e6));
+                }
+                row.push_back(Table::sci(r.genesysInferenceJ * 1e6));
+            }));
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // --- Fig 9(c): evolution runtime --------------------------------------------
+    {
+        Table t("Fig 9(c): evolution runtime per generation (us)");
+        t.setHeader({"Environment", "CPU_a", "CPU_c", "GENESYS"});
+        for (const auto &[env, r] : results) {
+            t.addRow(row_for(env, [](auto &row, const EnvResult &r) {
+                for (auto id : {PlatformId::CPU_a, PlatformId::CPU_c}) {
+                    row.push_back(Table::sci(
+                        PlatformModel(id).evolutionSeconds(r.profile) *
+                        1e6));
+                }
+                row.push_back(Table::sci(r.genesysEvolutionS * 1e6));
+            }));
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // --- Fig 9(d): evolution energy -----------------------------------------------
+    {
+        Table t("Fig 9(d): evolution energy per generation (uJ)");
+        t.setHeader({"Environment", "GPU_a", "GPU_c", "GENESYS"});
+        for (const auto &[env, r] : results) {
+            t.addRow(row_for(env, [](auto &row, const EnvResult &r) {
+                for (auto id : {PlatformId::GPU_a, PlatformId::GPU_c}) {
+                    row.push_back(Table::sci(
+                        PlatformModel(id).evolutionEnergyJ(r.profile) *
+                        1e6));
+                }
+                row.push_back(Table::sci(r.genesysEvolutionJ * 1e6));
+            }));
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // --- headline ratios ------------------------------------------------------------
+    {
+        Table t("Headline ratios (paper: ~100x inference runtime vs "
+                "best GPU; 4-5 orders evolution energy vs GPU_c)");
+        t.setHeader({"Environment", "best-GPU inf / GENESYS (x)",
+                     "GPU_c evo energy / GENESYS (orders)"});
+        for (const auto &[env, r] : results) {
+            const double best_gpu = std::min(
+                PlatformModel(PlatformId::GPU_a)
+                    .inferenceSeconds(r.profile),
+                PlatformModel(PlatformId::GPU_b)
+                    .inferenceSeconds(r.profile));
+            const double evo_ratio =
+                PlatformModel(PlatformId::GPU_c)
+                    .evolutionEnergyJ(r.profile) /
+                std::max(1e-12, r.genesysEvolutionJ);
+            t.addRow({env,
+                      Table::num(best_gpu /
+                                     std::max(1e-12,
+                                              r.genesysInferenceS),
+                                 0),
+                      Table::num(std::log10(evo_ratio), 1)});
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the hot kernels of the
+ * library: genome crossover/mutation, network evaluation,
+ * levelization, stream alignment and the functional EvE PE.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "hw/eve_pe.hh"
+#include "hw/gene_split.hh"
+#include "nn/levelize.hh"
+
+using namespace genesys;
+using namespace genesys::neat;
+
+namespace
+{
+
+NeatConfig
+benchConfig(int inputs, int outputs)
+{
+    NeatConfig cfg;
+    cfg.numInputs = inputs;
+    cfg.numOutputs = outputs;
+    return cfg;
+}
+
+Genome
+grownGenome(const NeatConfig &cfg, int mutations, uint64_t seed)
+{
+    NodeIndexer idx(cfg.numOutputs);
+    XorWow rng(seed);
+    auto g = Genome::createNew(0, cfg, idx, rng);
+    for (int i = 0; i < mutations; ++i)
+        g.mutate(cfg, idx, rng);
+    return g;
+}
+
+} // namespace
+
+static void
+BM_GenomeCrossover(benchmark::State &state)
+{
+    const auto cfg = benchConfig(static_cast<int>(state.range(0)), 4);
+    const auto p1 = grownGenome(cfg, 10, 1);
+    const auto p2 = grownGenome(cfg, 10, 2);
+    XorWow rng(3);
+    for (auto _ : state) {
+        auto child = Genome::crossover(9, p1, p2, rng);
+        benchmark::DoNotOptimize(child);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(p1.numGenes()));
+}
+BENCHMARK(BM_GenomeCrossover)->Arg(4)->Arg(24)->Arg(128);
+
+static void
+BM_GenomeMutate(benchmark::State &state)
+{
+    auto cfg = benchConfig(static_cast<int>(state.range(0)), 4);
+    NodeIndexer idx(cfg.numOutputs);
+    XorWow rng(4);
+    auto g = grownGenome(cfg, 5, 5);
+    for (auto _ : state) {
+        auto copy = g;
+        benchmark::DoNotOptimize(copy.mutate(cfg, idx, rng));
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(g.numGenes()));
+}
+BENCHMARK(BM_GenomeMutate)->Arg(4)->Arg(128);
+
+static void
+BM_GenomeDistance(benchmark::State &state)
+{
+    const auto cfg = benchConfig(static_cast<int>(state.range(0)), 4);
+    const auto a = grownGenome(cfg, 10, 6);
+    const auto b = grownGenome(cfg, 10, 7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.distance(b, cfg));
+}
+BENCHMARK(BM_GenomeDistance)->Arg(4)->Arg(128);
+
+static void
+BM_NetworkActivate(benchmark::State &state)
+{
+    const auto cfg = benchConfig(static_cast<int>(state.range(0)), 4);
+    const auto g = grownGenome(cfg, 20, 8);
+    const auto net = nn::FeedForwardNetwork::create(g, cfg);
+    std::vector<double> inputs(net.numInputs(), 0.5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(net.activate(inputs));
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        net.macsPerInference());
+}
+BENCHMARK(BM_NetworkActivate)->Arg(4)->Arg(24)->Arg(128);
+
+static void
+BM_NetworkCreate(benchmark::State &state)
+{
+    const auto cfg = benchConfig(static_cast<int>(state.range(0)), 4);
+    const auto g = grownGenome(cfg, 20, 9);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(nn::FeedForwardNetwork::create(g, cfg));
+}
+BENCHMARK(BM_NetworkCreate)->Arg(4)->Arg(128);
+
+static void
+BM_Levelize(benchmark::State &state)
+{
+    const auto cfg = benchConfig(static_cast<int>(state.range(0)), 4);
+    const auto g = grownGenome(cfg, 20, 10);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(nn::levelize(g, cfg));
+}
+BENCHMARK(BM_Levelize)->Arg(4)->Arg(128);
+
+static void
+BM_EncodeGenome(benchmark::State &state)
+{
+    const auto cfg = benchConfig(128, 8);
+    const auto g = grownGenome(cfg, 10, 11);
+    hw::GeneCodec codec;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(codec.encodeGenome(g, cfg));
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(g.numGenes()));
+}
+BENCHMARK(BM_EncodeGenome);
+
+static void
+BM_AlignStreams(benchmark::State &state)
+{
+    const auto cfg = benchConfig(128, 8);
+    const auto p1 = grownGenome(cfg, 10, 12);
+    const auto p2 = grownGenome(cfg, 10, 13);
+    hw::GeneCodec codec;
+    const auto s1 = codec.encodeGenome(p1, cfg);
+    const auto s2 = codec.encodeGenome(p2, cfg);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hw::alignStreams(s1, s2, codec));
+}
+BENCHMARK(BM_AlignStreams);
+
+static void
+BM_EvePeChild(benchmark::State &state)
+{
+    const auto cfg = benchConfig(128, 8);
+    const auto p1 = grownGenome(cfg, 10, 14);
+    const auto p2 = grownGenome(cfg, 10, 15);
+    hw::GeneCodec codec;
+    const auto stream = hw::alignStreams(codec.encodeGenome(p1, cfg),
+                                         codec.encodeGenome(p2, cfg),
+                                         codec);
+    hw::EvePe pe(codec, hw::peConfigFrom(cfg, stream.size()), 16);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pe.processChild(stream));
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_EvePeChild);
+
+BENCHMARK_MAIN();

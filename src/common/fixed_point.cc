@@ -1,0 +1,62 @@
+#include "common/fixed_point.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace genesys
+{
+
+FixedPointCodec::FixedPointCodec(int int_bits, int frac_bits)
+    : intBits_(int_bits), fracBits_(frac_bits)
+{
+    GENESYS_ASSERT(int_bits >= 1, "need at least a sign bit");
+    GENESYS_ASSERT(frac_bits >= 0, "negative fractional bits");
+    GENESYS_ASSERT(int_bits + frac_bits <= 16, "field wider than 16 bits");
+}
+
+double
+FixedPointCodec::maxValue() const
+{
+    const int32_t max_raw = (1 << (bits() - 1)) - 1;
+    return static_cast<double>(max_raw) * resolution();
+}
+
+double
+FixedPointCodec::minValue() const
+{
+    const int32_t min_raw = -(1 << (bits() - 1));
+    return static_cast<double>(min_raw) * resolution();
+}
+
+double
+FixedPointCodec::resolution() const
+{
+    return std::ldexp(1.0, -fracBits_);
+}
+
+uint16_t
+FixedPointCodec::encode(double v) const
+{
+    const double scaled = v / resolution();
+    const int32_t max_raw = (1 << (bits() - 1)) - 1;
+    const int32_t min_raw = -(1 << (bits() - 1));
+    auto raw = static_cast<int32_t>(std::lround(scaled));
+    raw = std::clamp(raw, min_raw, max_raw);
+    // Two's complement in the low `bits()` bits.
+    return static_cast<uint16_t>(raw & ((1 << bits()) - 1));
+}
+
+double
+FixedPointCodec::decode(uint16_t raw) const
+{
+    const int b = bits();
+    int32_t v = raw & ((1 << b) - 1);
+    // Sign-extend.
+    if (v & (1 << (b - 1)))
+        v -= (1 << b);
+    return static_cast<double>(v) * resolution();
+}
+
+} // namespace genesys

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fixed-point quantization helpers for the hardware gene encoding.
+ *
+ * The GeneSys gene format (Fig 6) packs floating point attributes
+ * (bias, response, weight) into 16-bit fields. We model that with a
+ * signed Qm.n representation; the EvE Perturbation Engine's "Limit &
+ * Quantize" stage (Fig 7) maps onto saturate() + quantize().
+ */
+
+#ifndef GENESYS_COMMON_FIXED_POINT_HH
+#define GENESYS_COMMON_FIXED_POINT_HH
+
+#include <cstdint>
+
+namespace genesys
+{
+
+/**
+ * Signed fixed-point codec with `intBits` integer bits (including
+ * sign) and `fracBits` fractional bits, stored in a field of
+ * intBits + fracBits <= 16 bits.
+ */
+class FixedPointCodec
+{
+  public:
+    FixedPointCodec(int int_bits, int frac_bits);
+
+    /** Total bits in the encoded field. */
+    int bits() const { return intBits_ + fracBits_; }
+
+    /** Largest representable value. */
+    double maxValue() const;
+    /** Smallest (most negative) representable value. */
+    double minValue() const;
+    /** Quantization step. */
+    double resolution() const;
+
+    /** Encode with saturation to the representable range. */
+    uint16_t encode(double v) const;
+
+    /** Decode a previously encoded field. */
+    double decode(uint16_t raw) const;
+
+    /** Saturate-then-quantize in the value domain (decode(encode(v))). */
+    double quantize(double v) const { return decode(encode(v)); }
+
+  private:
+    int intBits_;
+    int fracBits_;
+};
+
+} // namespace genesys
+
+#endif // GENESYS_COMMON_FIXED_POINT_HH

@@ -1,0 +1,35 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace genesys
+{
+
+void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    throw std::runtime_error(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    throw std::logic_error(msg);
+}
+
+} // namespace genesys

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting.
+ *
+ * fatal() is for user errors (bad configuration); panic() is for
+ * internal invariant violations (a GeneSys bug).
+ */
+
+#ifndef GENESYS_COMMON_LOGGING_HH
+#define GENESYS_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace genesys
+{
+
+/** Print an informational message to stderr. */
+void inform(const std::string &msg);
+
+/** Print a warning to stderr. */
+void warn(const std::string &msg);
+
+/** User-caused unrecoverable error: print and throw std::runtime_error. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Internal invariant violation: print and throw std::logic_error. */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Assert an invariant with a formatted message; throws via panic() on
+ * failure so tests can observe it.
+ */
+#define GENESYS_ASSERT(cond, msg)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            std::ostringstream _oss;                                       \
+            _oss << "assertion failed: " #cond ": " << msg;                \
+            ::genesys::panic(_oss.str());                                  \
+        }                                                                  \
+    } while (0)
+
+} // namespace genesys
+
+#endif // GENESYS_COMMON_LOGGING_HH

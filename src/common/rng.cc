@@ -1,0 +1,133 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace genesys
+{
+
+uint64_t
+splitMix64(uint64_t &state)
+{
+    state += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+deriveSeed(uint64_t base, uint64_t stream)
+{
+    uint64_t s = base ^ (0xA24BAED4963EE407ULL + stream * 0x9FB21C651E98DF25ULL);
+    return splitMix64(s);
+}
+
+XorWow::XorWow(uint64_t seed)
+{
+    reseed(seed);
+}
+
+void
+XorWow::reseed(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &w : state_) {
+        w = static_cast<uint32_t>(splitMix64(sm) >> 16);
+        // XOR-WOW state must not be all zero; the SplitMix expansion
+        // makes that astronomically unlikely, but guard anyway.
+        if (w == 0)
+            w = 0x6C078965;
+    }
+    weyl_ = static_cast<uint32_t>(splitMix64(sm));
+    hasCachedGaussian_ = false;
+    cachedGaussian_ = 0.0;
+}
+
+uint32_t
+XorWow::next32()
+{
+    uint32_t t = state_[4];
+    const uint32_t s = state_[0];
+    state_[4] = state_[3];
+    state_[3] = state_[2];
+    state_[2] = state_[1];
+    state_[1] = s;
+    t ^= t >> 2;
+    t ^= t << 1;
+    t ^= s ^ (s << 4);
+    state_[0] = t;
+    weyl_ += 362437;
+    return t + weyl_;
+}
+
+uint64_t
+XorWow::next64()
+{
+    uint64_t hi = next32();
+    uint64_t lo = next32();
+    return (hi << 32) | lo;
+}
+
+double
+XorWow::uniform()
+{
+    // 53-bit mantissa from a 64-bit draw.
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+double
+XorWow::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint32_t
+XorWow::uniformInt(uint32_t n)
+{
+    // Lemire's multiply-shift rejection method for unbiased bounded
+    // integers.
+    uint64_t m = static_cast<uint64_t>(next32()) * n;
+    uint32_t l = static_cast<uint32_t>(m);
+    if (l < n) {
+        uint32_t t = -n % n;
+        while (l < t) {
+            m = static_cast<uint64_t>(next32()) * n;
+            l = static_cast<uint32_t>(m);
+        }
+    }
+    return static_cast<uint32_t>(m >> 32);
+}
+
+int
+XorWow::uniformInt(int lo, int hi)
+{
+    return lo + static_cast<int>(
+        uniformInt(static_cast<uint32_t>(hi - lo + 1)));
+}
+
+double
+XorWow::gaussian()
+{
+    if (hasCachedGaussian_) {
+        hasCachedGaussian_ = false;
+        return cachedGaussian_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-300);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cachedGaussian_ = r * std::sin(theta);
+    hasCachedGaussian_ = true;
+    return r * std::cos(theta);
+}
+
+double
+XorWow::gaussian(double mean, double stdev)
+{
+    return mean + stdev * gaussian();
+}
+
+} // namespace genesys

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Deterministic random number generation for GeneSys.
+ *
+ * The paper's EvE PEs are fed by a hardware XOR-WOW PRNG ("also used
+ * within NVIDIA GPUs", Section IV-C4). We use the same generator for
+ * both the software NEAT substrate and the hardware model so that a
+ * software evolution run and a hardware-simulated run of the same seed
+ * make identical stochastic decisions.
+ */
+
+#ifndef GENESYS_COMMON_RNG_HH
+#define GENESYS_COMMON_RNG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace genesys
+{
+
+/**
+ * XOR-WOW pseudo random number generator (Marsaglia, 2003).
+ *
+ * Five 32-bit words of xorshift state plus a Weyl sequence counter.
+ * This is the generator the GeneSys SoC instantiates next to the EvE
+ * PE array; an 8-bit slice of the output feeds each PE every cycle.
+ */
+class XorWow
+{
+  public:
+    /** Construct from a 64-bit seed, expanded via SplitMix64. */
+    explicit XorWow(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    /** Next raw 32-bit output. */
+    uint32_t next32();
+
+    /** Next 64-bit output (two 32-bit draws). */
+    uint64_t next64();
+
+    /**
+     * Next 8-bit output, as delivered to an EvE PE each cycle
+     * (Section IV-C4: "The PRNG feeds a 8-bit random numbers every
+     * cycle to all the PEs").
+     */
+    uint8_t next8() { return static_cast<uint8_t>(next32() >> 24); }
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    uint32_t uniformInt(uint32_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    int uniformInt(int lo, int hi);
+
+    /** Standard normal via Box-Muller (cached second variate). */
+    double gaussian();
+
+    /** Normal with given mean and standard deviation. */
+    double gaussian(double mean, double stdev);
+
+    /** Bernoulli trial: true with probability p. */
+    bool bernoulli(double p) { return uniform() < p; }
+
+    /** Pick a uniformly random element index of a non-empty container. */
+    template <typename Container>
+    std::size_t
+    choiceIndex(const Container &c)
+    {
+        return static_cast<std::size_t>(
+            uniformInt(static_cast<uint32_t>(c.size())));
+    }
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = uniformInt(static_cast<uint32_t>(i));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Reseed the generator (resets gaussian cache too). */
+    void reseed(uint64_t seed);
+
+  private:
+    uint32_t state_[5];
+    uint32_t weyl_;
+    bool hasCachedGaussian_;
+    double cachedGaussian_;
+};
+
+/** SplitMix64 step: used to expand seeds and derive sub-stream seeds. */
+uint64_t splitMix64(uint64_t &state);
+
+/**
+ * Derive a child seed from a parent seed and a stream index. Used to
+ * give each run / environment instance / PE an independent stream.
+ */
+uint64_t deriveSeed(uint64_t base, uint64_t stream);
+
+} // namespace genesys
+
+#endif // GENESYS_COMMON_RNG_HH

@@ -1,0 +1,151 @@
+#include "core/genesys.hh"
+
+#include "common/logging.hh"
+#include "nn/levelize.hh"
+
+namespace genesys::core
+{
+
+System::System(SystemConfig cfg)
+    : cfg_(std::move(cfg)), spec_(workload(cfg_.envName)),
+      neatCfg_(neatConfigFor(spec_)),
+      env_(env::makeEnvironment(cfg_.envName)),
+      soc_(cfg_.soc, cfg_.energy)
+{
+    if (cfg_.maxGenerations > 0)
+        spec_.maxGenerations = cfg_.maxGenerations;
+    if (cfg_.episodesPerEval > 0)
+        spec_.episodes = cfg_.episodesPerEval;
+    if (cfg_.tweakNeat)
+        cfg_.tweakNeat(neatCfg_);
+    population_ = std::make_unique<neat::Population>(neatCfg_, cfg_.seed);
+}
+
+System::~System() = default;
+
+bool
+System::stepGeneration()
+{
+    if (solved_)
+        return true;
+
+    const int gen = population_->generation();
+    GenerationReport report;
+
+    // Inference phase: every genome runs its episodes (steps 1-6 of
+    // the walkthrough). While evaluating we gather the ADAM workload
+    // descriptors.
+    std::vector<hw::GenomeInferenceWork> inference_work;
+    inference_work.reserve(population_->genomes().size());
+    long steps = 0;
+    long max_episode_steps = 0;
+    double macs = 0.0;
+    double compact_cells = 0.0;
+    double sparse_cells = 0.0;
+    const size_t pop_size = population_->genomes().size();
+
+    env::EpisodeRunner runner(*env_,
+                              deriveSeed(cfg_.seed,
+                                         static_cast<uint64_t>(gen)),
+                              spec_.episodes);
+
+    auto fitness = [&](const neat::Genome &g) {
+        const auto net = nn::FeedForwardNetwork::create(g, neatCfg_);
+        double total = 0.0;
+        long genome_steps = 0;
+        long genome_macs = 0;
+        for (int e = 0; e < spec_.episodes; ++e) {
+            const auto res = runner.runEpisode(
+                net, deriveSeed(deriveSeed(cfg_.seed,
+                                           static_cast<uint64_t>(gen)),
+                                static_cast<uint64_t>(e)));
+            total += res.fitness;
+            genome_steps += res.inferences;
+            genome_macs += res.macs;
+            max_episode_steps =
+                std::max(max_episode_steps,
+                         static_cast<long>(res.steps));
+        }
+        steps += genome_steps;
+        macs += static_cast<double>(genome_macs);
+
+        if (cfg_.simulateHardware) {
+            hw::GenomeInferenceWork w;
+            w.schedule = nn::levelize(g, neatCfg_);
+            w.inferences = genome_steps;
+            compact_cells += static_cast<double>(w.schedule.denseCells());
+            int max_key = 0;
+            for (const auto &[nk, ng] : g.nodes())
+                max_key = std::max(max_key, nk);
+            const double dim = max_key + neatCfg_.numInputs + 1;
+            sparse_cells += dim * dim;
+            inference_work.push_back(std::move(w));
+        }
+        return total / spec_.episodes;
+    };
+
+    const bool done = population_->step(fitness);
+    solved_ = done;
+
+    report.algo = population_->history().back();
+    report.inferenceSteps = steps;
+    report.maxEpisodeSteps = max_episode_steps;
+    report.macsPerStep =
+        steps > 0 ? macs / static_cast<double>(steps) : 0.0;
+    report.compactCellsPerGenome =
+        compact_cells / static_cast<double>(pop_size);
+    report.sparseCellsPerGenome =
+        sparse_cells / static_cast<double>(pop_size);
+
+    if (cfg_.simulateHardware) {
+        // Evolution trace that bred the *next* generation (empty when
+        // solved on this one). The report's op counters are aligned
+        // to the same trace so runtime and op columns agree.
+        static const neat::EvolutionTrace empty_trace;
+        const neat::EvolutionTrace &trace =
+            (!done && !population_->traces().empty())
+                ? population_->traces().back()
+                : empty_trace;
+        report.algo.evolutionOps = trace.totalOps();
+        report.algo.opBreakdown = trace.opTotals();
+        report.algo.maxParentReuse = trace.maxParentReuse();
+        report.hw = soc_.simulateGeneration(trace, inference_work,
+                                            report.algo.memoryBytes);
+    }
+    reports_.push_back(std::move(report));
+    return done;
+}
+
+RunSummary
+System::run()
+{
+    for (int g = 0; g < spec_.maxGenerations && !solved_; ++g)
+        stepGeneration();
+
+    RunSummary s;
+    s.solved = solved_;
+    s.generations = static_cast<int>(reports_.size());
+    if (population_->hasBest()) {
+        s.bestFitness = population_->bestGenome().fitness();
+        s.bestGenome = population_->bestGenome();
+    }
+    for (const auto &r : reports_) {
+        s.totalEvolutionEnergyJ += r.hw.evolutionEnergyJ;
+        s.totalInferenceEnergyJ += r.hw.inferenceEnergyJ;
+        s.totalEvolutionSeconds += r.hw.evolutionSeconds;
+        s.totalInferenceSeconds += r.hw.inferenceSeconds();
+    }
+    return s;
+}
+
+env::EpisodeResult
+System::replayBest(uint64_t seed)
+{
+    GENESYS_ASSERT(population_->hasBest(), "no best genome yet");
+    const auto net = nn::FeedForwardNetwork::create(
+        population_->bestGenome(), neatCfg_);
+    env::EpisodeRunner runner(*env_, seed, 1);
+    return runner.runEpisode(net, seed);
+}
+
+} // namespace genesys::core

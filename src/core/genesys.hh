@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The GeneSys closed-loop system (Fig 1(b), Fig 6): NEAT population +
+ * environment instances + the SoC hardware model, run generation by
+ * generation. This is the library's headline public API:
+ *
+ *     genesys::core::System sys(genesys::core::SystemConfig{
+ *         .envName = "CartPole_v0"});
+ *     auto summary = sys.run();
+ */
+
+#ifndef GENESYS_CORE_GENESYS_HH
+#define GENESYS_CORE_GENESYS_HH
+
+#include <memory>
+
+#include "core/workloads.hh"
+#include "hw/soc.hh"
+#include "neat/population.hh"
+
+namespace genesys::core
+{
+
+/** Everything needed to stand up a closed-loop run. */
+struct SystemConfig
+{
+    std::string envName = "CartPole_v0";
+    /** 0 = use workload default. */
+    int maxGenerations = 0;
+    int episodesPerEval = 1;
+    uint64_t seed = 1;
+    /** Simulate the SoC alongside the algorithm? */
+    bool simulateHardware = true;
+    hw::SocParams soc{};
+    hw::EnergyParams energy{};
+    /** Optional NEAT overrides applied after the workload defaults. */
+    std::function<void(neat::NeatConfig &)> tweakNeat;
+};
+
+/** Per-generation record: algorithm stats + hardware stats. */
+struct GenerationReport
+{
+    neat::GenerationStats algo;
+    hw::SocGenStats hw;
+    /** Mean levelized dense cells per genome (GPU_a storage unit). */
+    double compactCellsPerGenome = 0.0;
+    /** Mean padded sparse cells per genome (GPU_b storage unit). */
+    double sparseCellsPerGenome = 0.0;
+    /** Forward passes executed this generation. */
+    long inferenceSteps = 0;
+    /** Longest single episode this generation (BSP lockstep count). */
+    long maxEpisodeSteps = 0;
+    /** Mean useful MACs per forward pass. */
+    double macsPerStep = 0.0;
+};
+
+/** Whole-run outcome. */
+struct RunSummary
+{
+    bool solved = false;
+    int generations = 0;
+    double bestFitness = 0.0;
+    neat::Genome bestGenome;
+
+    /** Aggregate hardware totals across the run. */
+    double totalEvolutionEnergyJ = 0.0;
+    double totalInferenceEnergyJ = 0.0;
+    double totalEvolutionSeconds = 0.0;
+    double totalInferenceSeconds = 0.0;
+};
+
+/** The closed-loop system. */
+class System
+{
+  public:
+    explicit System(SystemConfig cfg);
+    ~System();
+
+    /** Advance one generation. Returns true when solved. */
+    bool stepGeneration();
+
+    /** Run to the target fitness or the generation cap. */
+    RunSummary run();
+
+    const std::vector<GenerationReport> &reports() const
+    {
+        return reports_;
+    }
+    const neat::Population &population() const { return *population_; }
+    const neat::NeatConfig &neatConfig() const { return neatCfg_; }
+    const env::Environment &environment() const { return *env_; }
+    const hw::GenesysSoc &socModel() const { return soc_; }
+    const SystemConfig &config() const { return cfg_; }
+
+    /** Replay the current best genome; returns its episode fitness. */
+    env::EpisodeResult replayBest(uint64_t seed);
+
+  private:
+    SystemConfig cfg_;
+    WorkloadSpec spec_;
+    neat::NeatConfig neatCfg_;
+    std::unique_ptr<env::Environment> env_;
+    std::unique_ptr<neat::Population> population_;
+    hw::GenesysSoc soc_;
+    std::vector<GenerationReport> reports_;
+    bool solved_ = false;
+};
+
+} // namespace genesys::core
+
+#endif // GENESYS_CORE_GENESYS_HH

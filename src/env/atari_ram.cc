@@ -1,0 +1,305 @@
+#include "env/atari_ram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace genesys::env
+{
+
+const std::string &
+atariVariantName(AtariVariant v)
+{
+    static const std::string names[] = {
+        "AirRaid-ram-v0",
+        "Alien-ram-v0",
+        "Amidar-ram-v0",
+        "Asterix-ram-v0",
+    };
+    return names[static_cast<size_t>(v)];
+}
+
+AtariRam::AtariRam(AtariVariant variant) : variant_(variant) {}
+
+const std::string &
+AtariRam::name() const
+{
+    return atariVariantName(variant_);
+}
+
+ActionSpace
+AtariRam::actionSpace() const
+{
+    // Matches the gym action-set sizes of the four games.
+    int n = 6;
+    switch (variant_) {
+      case AtariVariant::AirRaid: n = 6; break;
+      case AtariVariant::Alien: n = 18; break;
+      case AtariVariant::Amidar: n = 10; break;
+      case AtariVariant::Asterix: n = 9; break;
+    }
+    return {ActionSpace::Kind::Discrete, n, 0.0, 0.0};
+}
+
+double
+AtariRam::targetScore() const
+{
+    switch (variant_) {
+      case AtariVariant::AirRaid: return 160.0;
+      case AtariVariant::Alien: return 120.0;
+      case AtariVariant::Amidar: return 120.0;
+      case AtariVariant::Asterix: return 140.0;
+    }
+    return 120.0;
+}
+
+std::vector<double>
+AtariRam::reset(uint64_t seed)
+{
+    // Per-variant stream so each game plays out differently even
+    // with the same seed.
+    gameRng_.reseed(deriveSeed(seed, static_cast<uint64_t>(variant_) + 7));
+
+    px_ = gridW / 2;
+    py_ = variant_ == AtariVariant::AirRaid ? gridH - 1 : gridH / 2;
+    for (int e = 0; e < numEnemies; ++e) {
+        ex_[e] = static_cast<int>(gameRng_.uniformInt(gridW));
+        ey_[e] = variant_ == AtariVariant::AirRaid
+                     ? static_cast<int>(gameRng_.uniformInt(4))
+                     : static_cast<int>(gameRng_.uniformInt(gridH));
+        enemyPhase_[e] = static_cast<int>(gameRng_.uniformInt(8));
+        enemyAlive_[e] = true;
+        // Don't spawn on the player.
+        if (ex_[e] == px_ && ey_[e] == py_)
+            ex_[e] = (ex_[e] + 3) % gridW;
+    }
+    for (int p = 0; p < numPellets; ++p) {
+        pelletX_[p] = static_cast<int>(gameRng_.uniformInt(gridW));
+        pelletY_[p] = static_cast<int>(gameRng_.uniformInt(gridH));
+        pelletAlive_[p] = true;
+    }
+    score_ = 0;
+    lives_ = 1;
+    dead_ = false;
+    done_ = false;
+    fireCooldown_ = 0;
+    resetBookkeeping();
+    refreshRam();
+    return observation();
+}
+
+void
+AtariRam::moveEnemies()
+{
+    for (int e = 0; e < numEnemies; ++e) {
+        if (!enemyAlive_[e])
+            continue;
+        enemyPhase_[e] = (enemyPhase_[e] + 1) & 7;
+        switch (variant_) {
+          case AtariVariant::AirRaid:
+            // Bombers sweep down their column.
+            if (enemyPhase_[e] % 2 == 0)
+                ++ey_[e];
+            if (ey_[e] >= gridH) {
+                ey_[e] = 0;
+                ex_[e] = static_cast<int>(gameRng_.uniformInt(gridW));
+            }
+            break;
+          case AtariVariant::Alien:
+            // Chase the player (with occasional wobble).
+            if (gameRng_.bernoulli(0.75)) {
+                if (ex_[e] < px_) ++ex_[e];
+                else if (ex_[e] > px_) --ex_[e];
+                if (ey_[e] < py_) ++ey_[e];
+                else if (ey_[e] > py_) --ey_[e];
+            } else {
+                ex_[e] += gameRng_.uniformInt(-1, 1);
+                ey_[e] += gameRng_.uniformInt(-1, 1);
+            }
+            break;
+          case AtariVariant::Amidar:
+            // Patrol the grid lines: walk rows, drop at phase points.
+            ex_[e] += (enemyPhase_[e] < 4) ? 1 : -1;
+            if (ex_[e] < 0 || ex_[e] >= gridW) {
+                ex_[e] = std::clamp(ex_[e], 0, gridW - 1);
+                ey_[e] = (ey_[e] + 2) % gridH;
+            }
+            break;
+          case AtariVariant::Asterix:
+            // Lane hazards scroll horizontally, direction by row.
+            ex_[e] += (ey_[e] % 2 == 0) ? 1 : -1;
+            if (ex_[e] < 0) ex_[e] = gridW - 1;
+            if (ex_[e] >= gridW) ex_[e] = 0;
+            break;
+        }
+        ex_[e] = std::clamp(ex_[e], 0, gridW - 1);
+        ey_[e] = std::clamp(ey_[e], 0, gridH - 1);
+    }
+}
+
+StepResult
+AtariRam::step(const Action &action)
+{
+    GENESYS_ASSERT(!done_, "step() after episode end");
+    const int n_actions = actionSpace().n;
+    GENESYS_ASSERT(action.discrete >= 0 && action.discrete < n_actions,
+                   "invalid action " << action.discrete);
+
+    double reward = 0.0;
+
+    // Action decoding: 0 noop, 1 up, 2 right, 3 left, 4 down,
+    // 5 fire, >5 diagonal/fire-move combos (Alien's 18-action set).
+    int dx = 0, dy = 0;
+    bool fire = false;
+    const int a = action.discrete;
+    switch (a % 6) {
+      case 0: break;
+      case 1: dy = -1; break;
+      case 2: dx = 1; break;
+      case 3: dx = -1; break;
+      case 4: dy = 1; break;
+      case 5: fire = true; break;
+    }
+    if (a >= 6) { // combos add a diagonal component and/or fire
+        if (a % 2 == 0)
+            dx = (a % 4 == 0) ? 1 : -1;
+        else
+            fire = true;
+        dy = (a >= 12) ? 1 : -1;
+    }
+
+    px_ = std::clamp(px_ + dx, 0, gridW - 1);
+    py_ = std::clamp(py_ + dy, 0, gridH - 1);
+
+    // Fire: destroy the nearest enemy in the player's column
+    // (AirRaid-style) / adjacent (others). Shots cost points, so
+    // blind rapid fire loses score — aiming has to be learned.
+    if (fire && fireCooldown_ == 0) {
+        fireCooldown_ = 4;
+        bool any_hit = false;
+        for (int e = 0; e < numEnemies; ++e) {
+            if (!enemyAlive_[e])
+                continue;
+            const bool hit =
+                variant_ == AtariVariant::AirRaid
+                    ? ex_[e] == px_ && ey_[e] < py_
+                    : std::abs(ex_[e] - px_) + std::abs(ey_[e] - py_) <= 2;
+            if (hit) {
+                enemyAlive_[e] = false;
+                score_ += 10;
+                reward += 10.0;
+                any_hit = true;
+                break;
+            }
+        }
+        if (!any_hit) {
+            score_ = std::max(0L, score_ - 3);
+            reward -= 3.0;
+        }
+    }
+    if (fireCooldown_ > 0)
+        --fireCooldown_;
+
+    moveEnemies();
+
+    // Respawn destroyed enemies after a delay encoded in their phase.
+    for (int e = 0; e < numEnemies; ++e) {
+        if (!enemyAlive_[e] && gameRng_.bernoulli(0.1)) {
+            enemyAlive_[e] = true;
+            ex_[e] = static_cast<int>(gameRng_.uniformInt(gridW));
+            ey_[e] = 0;
+        }
+    }
+
+    // Pellet pickup.
+    for (int p = 0; p < numPellets; ++p) {
+        if (pelletAlive_[p] && pelletX_[p] == px_ && pelletY_[p] == py_) {
+            pelletAlive_[p] = false;
+            score_ += 10;
+            reward += 10.0;
+        }
+    }
+
+    // Enemy collision.
+    for (int e = 0; e < numEnemies; ++e) {
+        if (enemyAlive_[e] && ex_[e] == px_ && ey_[e] == py_) {
+            if (--lives_ <= 0)
+                dead_ = true;
+        }
+    }
+
+    // Survival trickle keeps early fitness informative.
+    reward += 0.1;
+    score_ += 0; // survival does not change the arcade score
+
+    accumulate(reward);
+    done_ = dead_ || stepsTaken_ >= maxSteps();
+
+    refreshRam();
+    StepResult r;
+    r.observation = observation();
+    r.reward = reward;
+    r.done = done_;
+    return r;
+}
+
+void
+AtariRam::refreshRam()
+{
+    ram_.fill(0);
+    ram_[0] = static_cast<uint8_t>(px_);
+    ram_[1] = static_cast<uint8_t>(py_);
+    for (int e = 0; e < numEnemies; ++e) {
+        ram_[static_cast<size_t>(2 + 3 * e)] = static_cast<uint8_t>(ex_[e]);
+        ram_[static_cast<size_t>(3 + 3 * e)] = static_cast<uint8_t>(ey_[e]);
+        ram_[static_cast<size_t>(4 + 3 * e)] = enemyAlive_[e] ? 1 : 0;
+    }
+    for (int p = 0; p < numPellets; ++p) {
+        ram_[static_cast<size_t>(24 + 3 * p)] =
+            static_cast<uint8_t>(pelletX_[p]);
+        ram_[static_cast<size_t>(25 + 3 * p)] =
+            static_cast<uint8_t>(pelletY_[p]);
+        ram_[static_cast<size_t>(26 + 3 * p)] = pelletAlive_[p] ? 1 : 0;
+    }
+    ram_[60] = static_cast<uint8_t>(score_ & 0xFF);
+    ram_[61] = static_cast<uint8_t>((score_ >> 8) & 0xFF);
+    ram_[62] = static_cast<uint8_t>(lives_);
+    ram_[63] = static_cast<uint8_t>(stepsTaken_ & 0xFF);
+    // Derived bytes 64..127: deterministic mixes of the live state,
+    // mimicking the redundant/encoded bytes of real 2600 RAM. The
+    // network has to discover which bytes carry signal.
+    uint64_t h = 0x243F6A8885A308D3ULL ^
+                 (static_cast<uint64_t>(variant_) << 56);
+    for (size_t i = 0; i < 64; ++i)
+        h = h * 0x100000001B3ULL + ram_[i];
+    for (size_t i = 64; i < 128; ++i) {
+        h ^= h >> 33;
+        h *= 0xFF51AFD7ED558CCDULL;
+        h ^= h >> 29;
+        ram_[i] = static_cast<uint8_t>(h >> ((i % 8) * 8));
+    }
+}
+
+std::vector<double>
+AtariRam::observation() const
+{
+    std::vector<double> obs;
+    obs.reserve(128);
+    for (uint8_t b : ram_)
+        obs.push_back(static_cast<double>(b) / 255.0);
+    return obs;
+}
+
+double
+AtariRam::episodeFitness() const
+{
+    // Score plus a small survival component, normalized so the
+    // per-variant target score maps to fitness 1.0.
+    const double survival =
+        0.1 * static_cast<double>(stepsTaken_) /
+        static_cast<double>(maxSteps());
+    return (static_cast<double>(score_) / targetScore()) + survival;
+}
+
+} // namespace genesys::env

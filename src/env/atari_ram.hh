@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Synthetic Atari-RAM games (AirRaid / Alien / Amidar / Asterix).
+ *
+ * The paper's agents observe the 128-byte Atari 2600 RAM (Table I)
+ * through gym. Shipping ROMs/emulators is not possible here, so each
+ * variant is a deterministic procedural arcade game over a 128-byte
+ * machine state: a player, procedurally moving enemies, collectible
+ * pellets, a score, and RAM bytes that mix entity state with derived
+ * (hashed) bytes — preserving what matters to GeneSys: 128-input
+ * genomes, large discrete action sets, and the O(10^5) gene
+ * populations of Fig 4(b). See DESIGN.md §3.
+ */
+
+#ifndef GENESYS_ENV_ATARI_RAM_HH
+#define GENESYS_ENV_ATARI_RAM_HH
+
+#include <array>
+
+#include "env/env.hh"
+
+namespace genesys::env
+{
+
+/** The four RAM workloads used in the paper's evaluation. */
+enum class AtariVariant
+{
+    AirRaid, ///< enemies descend columns; dodge and shoot (6 actions)
+    Alien,   ///< maze chase with diagonal moves + fire (18 actions)
+    Amidar,  ///< trace the grid while evading (10 actions)
+    Asterix, ///< horizontal lanes of hazards and bonuses (9 actions)
+};
+
+/** Name used by the paper/gym, e.g. "Alien-ram-v0". */
+const std::string &atariVariantName(AtariVariant v);
+
+class AtariRam : public Environment
+{
+  public:
+    explicit AtariRam(AtariVariant variant);
+
+    const std::string &name() const override;
+    int observationSize() const override { return 128; }
+    ActionSpace actionSpace() const override;
+    int recommendedOutputs() const override { return actionSpace().n; }
+    int maxSteps() const override { return 300; }
+
+    /** Normalized score; 1.0 at the target score. */
+    double episodeFitness() const override;
+    double targetFitness() const override { return 1.0; }
+
+    std::vector<double> reset(uint64_t seed) override;
+    StepResult step(const Action &action) override;
+
+    long score() const { return score_; }
+    bool dead() const { return dead_; }
+    AtariVariant variant() const { return variant_; }
+
+    /** Raw RAM snapshot (for tests). */
+    const std::array<uint8_t, 128> &ram() const { return ram_; }
+
+    static constexpr int gridW = 16;
+    static constexpr int gridH = 16;
+    static constexpr int numEnemies = 6;
+    static constexpr int numPellets = 12;
+
+  private:
+    void refreshRam();
+    std::vector<double> observation() const;
+    void moveEnemies();
+    double targetScore() const;
+
+    AtariVariant variant_;
+    XorWow gameRng_{1};
+
+    int px_ = 0, py_ = 0;
+    std::array<int, numEnemies> ex_{}, ey_{};
+    std::array<int, numEnemies> enemyPhase_{};
+    std::array<bool, numEnemies> enemyAlive_{};
+    std::array<int, numPellets> pelletX_{}, pelletY_{};
+    std::array<bool, numPellets> pelletAlive_{};
+    long score_ = 0;
+    int lives_ = 1;
+    bool dead_ = false;
+    bool done_ = true;
+    int fireCooldown_ = 0;
+
+    std::array<uint8_t, 128> ram_{};
+};
+
+} // namespace genesys::env
+
+#endif // GENESYS_ENV_ATARI_RAM_HH

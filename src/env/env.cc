@@ -1,0 +1,49 @@
+#include "env/env.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace genesys::env
+{
+
+Action
+decodeAction(const ActionSpace &space, const std::vector<double> &outputs)
+{
+    GENESYS_ASSERT(!outputs.empty(), "cannot decode empty output vector");
+    Action a;
+    if (space.kind == ActionSpace::Kind::Discrete) {
+        if (space.n == 2 && outputs.size() == 1) {
+            a.discrete = outputs[0] > 0.5 ? 1 : 0;
+            return a;
+        }
+        GENESYS_ASSERT(outputs.size() >= static_cast<size_t>(space.n),
+                       "need " << space.n << " outputs, got "
+                               << outputs.size());
+        int best = 0;
+        for (int i = 1; i < space.n; ++i) {
+            if (outputs[static_cast<size_t>(i)] >
+                outputs[static_cast<size_t>(best)]) {
+                best = i;
+            }
+        }
+        a.discrete = best;
+    } else {
+        GENESYS_ASSERT(outputs.size() >= static_cast<size_t>(space.n),
+                       "need " << space.n << " outputs, got "
+                               << outputs.size());
+        a.continuous.reserve(static_cast<size_t>(space.n));
+        for (int i = 0; i < space.n; ++i) {
+            // Map a [0,1]-ish output onto [low, high]; values already
+            // outside [0,1] (e.g. tanh outputs) are clamped after the
+            // affine map from [0,1].
+            const double v = outputs[static_cast<size_t>(i)];
+            const double mapped = space.low + (space.high - space.low) * v;
+            a.continuous.push_back(
+                std::clamp(mapped, space.low, space.high));
+        }
+    }
+    return a;
+}
+
+} // namespace genesys::env

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Environment interface for the GeneSys closed loop ("n Environment
+ * Instances" in Fig 6). These play the role of the OpenAI-gym suite
+ * in Table I: each exposes an observation vector, an action space,
+ * per-step rewards, and an episode-level fitness used by NEAT.
+ */
+
+#ifndef GENESYS_ENV_ENV_HH
+#define GENESYS_ENV_ENV_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace genesys::env
+{
+
+/** Action space descriptor. */
+struct ActionSpace
+{
+    enum class Kind
+    {
+        Discrete,
+        Continuous,
+    };
+
+    Kind kind = Kind::Discrete;
+    /** Number of discrete actions, or continuous dimensions. */
+    int n = 1;
+    /** Bounds for continuous actions. */
+    double low = -1.0;
+    double high = 1.0;
+};
+
+/** A decoded action: exactly one of the two fields is meaningful. */
+struct Action
+{
+    int discrete = 0;
+    std::vector<double> continuous;
+};
+
+/** One simulation step's outcome. */
+struct StepResult
+{
+    std::vector<double> observation;
+    double reward = 0.0;
+    bool done = false;
+};
+
+/**
+ * Abstract environment. Implementations are deterministic given the
+ * seed passed to reset().
+ */
+class Environment
+{
+  public:
+    virtual ~Environment() = default;
+
+    virtual const std::string &name() const = 0;
+
+    /** Dimension of the observation vector (Table I). */
+    virtual int observationSize() const = 0;
+
+    virtual ActionSpace actionSpace() const = 0;
+
+    /**
+     * Network outputs the policy should produce for this
+     * environment: 1 for binary/continuous-scalar actions, n for
+     * argmax-decoded discrete spaces, dims for continuous vectors.
+     */
+    virtual int recommendedOutputs() const = 0;
+
+    /** Episode step cap. */
+    virtual int maxSteps() const = 0;
+
+    /** Start a new episode; returns the initial observation. */
+    virtual std::vector<double> reset(uint64_t seed) = 0;
+
+    /** Advance one step. Calling after done is an error. */
+    virtual StepResult step(const Action &action) = 0;
+
+    /**
+     * Fitness of the episode so far. Defaults to the cumulative
+     * reward; environments with sparse rewards add shaping here
+     * (the per-application "fitness function" of Section III-B).
+     */
+    virtual double episodeFitness() const { return cumulativeReward_; }
+
+    /**
+     * Fitness at which the task counts as solved ("target fitness").
+     */
+    virtual double targetFitness() const = 0;
+
+    double cumulativeReward() const { return cumulativeReward_; }
+    int stepsTaken() const { return stepsTaken_; }
+
+  protected:
+    /** Book-keeping helper for subclasses' step() implementations. */
+    void
+    accumulate(double reward)
+    {
+        cumulativeReward_ += reward;
+        ++stepsTaken_;
+    }
+
+    void
+    resetBookkeeping()
+    {
+        cumulativeReward_ = 0.0;
+        stepsTaken_ = 0;
+    }
+
+    double cumulativeReward_ = 0.0;
+    int stepsTaken_ = 0;
+};
+
+/**
+ * Decode raw network outputs into an environment action:
+ *  - Discrete n==2 with one output: threshold at 0.5.
+ *  - Discrete: argmax over n outputs.
+ *  - Continuous: clamp each output into [low, high] (outputs in
+ *    [0,1] from sigmoid-style activations are rescaled).
+ */
+Action decodeAction(const ActionSpace &space,
+                    const std::vector<double> &outputs);
+
+} // namespace genesys::env
+
+#endif // GENESYS_ENV_ENV_HH

@@ -1,0 +1,104 @@
+#include "env/runner.hh"
+
+#include "common/logging.hh"
+#include "env/acrobot.hh"
+#include "env/atari_ram.hh"
+#include "env/bipedal.hh"
+#include "env/cartpole.hh"
+#include "env/lunar_lander.hh"
+#include "env/mountain_car.hh"
+
+namespace genesys::env
+{
+
+EpisodeResult
+EpisodeRunner::runEpisode(const nn::FeedForwardNetwork &net, uint64_t seed)
+{
+    EpisodeResult result;
+    const ActionSpace space = env_.actionSpace();
+    const long macs_per_step = net.macsPerInference();
+
+    std::vector<double> obs = env_.reset(seed);
+    bool done = false;
+    while (!done) {
+        const std::vector<double> outputs = net.activate(obs);
+        const Action action = decodeAction(space, outputs);
+        StepResult sr = env_.step(action);
+        obs = std::move(sr.observation);
+        done = sr.done;
+        ++result.inferences;
+        result.macs += macs_per_step;
+    }
+    result.cumulativeReward = env_.cumulativeReward();
+    result.fitness = env_.episodeFitness();
+    result.steps = env_.stepsTaken();
+    return result;
+}
+
+double
+EpisodeRunner::evaluate(const neat::Genome &genome,
+                        const neat::NeatConfig &cfg)
+{
+    const auto net = nn::FeedForwardNetwork::create(genome, cfg);
+    double total = 0.0;
+    for (int e = 0; e < episodes_; ++e) {
+        total += runEpisode(net, deriveSeed(baseSeed_,
+                                            static_cast<uint64_t>(e)))
+                     .fitness;
+    }
+    return total / static_cast<double>(episodes_);
+}
+
+neat::NeatConfig
+configForEnvironment(const Environment &env)
+{
+    neat::NeatConfig cfg;
+    cfg.numInputs = env.observationSize();
+    cfg.numOutputs = env.recommendedOutputs();
+    cfg.populationSize = 150; // paper's population size
+    cfg.fitnessThreshold = env.targetFitness();
+    cfg.initialConnection = neat::InitialConnection::FullDirect;
+    // Match the paper's setup: simple initial topology with all
+    // input-output connections present but zero-weighted
+    // (Section III-B: "fully-connected but the weight on each
+    // connection is set to zero").
+    cfg.weight.initMean = 0.0;
+    cfg.weight.initStdev = 0.0;
+    return cfg;
+}
+
+std::unique_ptr<Environment>
+makeEnvironment(const std::string &name)
+{
+    if (name == "CartPole_v0")
+        return std::make_unique<CartPole>();
+    if (name == "MountainCar_v0")
+        return std::make_unique<MountainCar>();
+    if (name == "Acrobot")
+        return std::make_unique<Acrobot>();
+    if (name == "LunarLander_v2")
+        return std::make_unique<LunarLander>();
+    if (name == "Bipedal")
+        return std::make_unique<BipedalWalker>();
+    if (name == "AirRaid-ram-v0")
+        return std::make_unique<AtariRam>(AtariVariant::AirRaid);
+    if (name == "Alien-ram-v0")
+        return std::make_unique<AtariRam>(AtariVariant::Alien);
+    if (name == "Amidar-ram-v0")
+        return std::make_unique<AtariRam>(AtariVariant::Amidar);
+    if (name == "Asterix-ram-v0")
+        return std::make_unique<AtariRam>(AtariVariant::Asterix);
+    fatal("unknown environment: " + name);
+}
+
+std::vector<std::string>
+environmentNames()
+{
+    return {
+        "CartPole_v0",    "MountainCar_v0", "Acrobot",
+        "LunarLander_v2", "Bipedal",        "AirRaid-ram-v0",
+        "Alien-ram-v0",   "Amidar-ram-v0",  "Asterix-ram-v0",
+    };
+}
+
+} // namespace genesys::env

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Episode runner: closes the loop between a genome's phenotype and an
+ * environment (steps 2-5 of the walkthrough in Section IV-B), and
+ * adapts episode outcomes into NEAT fitness values (step 6, "reward
+ * to fitness").
+ */
+
+#ifndef GENESYS_ENV_RUNNER_HH
+#define GENESYS_ENV_RUNNER_HH
+
+#include <functional>
+#include <memory>
+
+#include "env/env.hh"
+#include "nn/feedforward.hh"
+
+namespace genesys::env
+{
+
+/** Outcome of one episode. */
+struct EpisodeResult
+{
+    double cumulativeReward = 0.0;
+    double fitness = 0.0;
+    int steps = 0;
+    /** Network evaluations performed (== steps). */
+    long inferences = 0;
+    /** Total MACs executed by the policy network. */
+    long macs = 0;
+};
+
+/**
+ * Runs episodes of one environment. Episode seeds are derived from
+ * (base seed, episode index) so evaluation is reproducible and every
+ * genome in a generation sees the same episode set — the population
+ * is ranked on a level playing field.
+ */
+class EpisodeRunner
+{
+  public:
+    EpisodeRunner(Environment &env, uint64_t base_seed, int episodes = 1)
+        : env_(env), baseSeed_(base_seed), episodes_(episodes)
+    {
+    }
+
+    /** Run one episode with an explicit seed. */
+    EpisodeResult runEpisode(const nn::FeedForwardNetwork &net,
+                             uint64_t seed);
+
+    /**
+     * Evaluate a genome: mean fitness over the configured episode
+     * count.
+     */
+    double evaluate(const neat::Genome &genome,
+                    const neat::NeatConfig &cfg);
+
+    /** Change the episode seeds (e.g. per generation). */
+    void setBaseSeed(uint64_t s) { baseSeed_ = s; }
+
+    int episodes() const { return episodes_; }
+    Environment &environment() { return env_; }
+
+  private:
+    Environment &env_;
+    uint64_t baseSeed_;
+    int episodes_;
+};
+
+/**
+ * Build a NEAT config matched to an environment: observation size in,
+ * recommended outputs out, paper defaults elsewhere (population 150,
+ * full direct initial connectivity).
+ */
+neat::NeatConfig configForEnvironment(const Environment &env);
+
+/** Instantiate an environment by its Table I name; throws if unknown. */
+std::unique_ptr<Environment> makeEnvironment(const std::string &name);
+
+/** All environment names available (Table I rows). */
+std::vector<std::string> environmentNames();
+
+} // namespace genesys::env
+
+#endif // GENESYS_ENV_RUNNER_HH

@@ -1,0 +1,185 @@
+#include "hw/adam.hh"
+
+#include <algorithm>
+
+namespace genesys::hw
+{
+
+AdamStats &
+AdamStats::operator+=(const AdamStats &o)
+{
+    cycles += o.cycles;
+    vectorizeCycles += o.vectorizeCycles;
+    usefulMacs += o.usefulMacs;
+    arrayMacs += o.arrayMacs;
+    sramReads += o.sramReads;
+    sramWrites += o.sramWrites;
+    layers += o.layers;
+    inputWords += o.inputWords;
+    outputWords += o.outputWords;
+    return *this;
+}
+
+double
+AdamStats::macEnergyJ(const EnergyModel &e) const
+{
+    // The array burns energy on every occupied slot; zeros are
+    // cheaper but not free — charge half a MAC for padding.
+    const double padding =
+        static_cast<double>(arrayMacs - usefulMacs) * 0.5;
+    return (static_cast<double>(usefulMacs) + padding) * e.macJ();
+}
+
+double
+AdamStats::sramEnergyJ(const EnergyModel &e) const
+{
+    return sramReads * e.sramReadJ() + sramWrites * e.sramWriteJ();
+}
+
+double
+AdamStats::cpuEnergyJ(const EnergyModel &e) const
+{
+    return vectorizeCycles * e.cpuOpJ();
+}
+
+double
+AdamStats::totalEnergyJ(const EnergyModel &e) const
+{
+    return macEnergyJ(e) + sramEnergyJ(e) + cpuEnergyJ(e);
+}
+
+AdamLayerStats
+AdamEngine::simulateLayer(const nn::PackedLayer &layer) const
+{
+    AdamLayerStats s;
+    if (layer.numNodes == 0 || layer.vectorLen == 0)
+        return s;
+
+    const long rows = soc_.adamRows;
+    const long cols = soc_.adamCols;
+    const long tiles_m = (layer.numNodes + rows - 1) / rows;
+    const long tiles_k = (layer.vectorLen + cols - 1) / cols;
+
+    // Weight-stationary tile: stream the K-slice through the array
+    // (cols cycles of fill + rows cycles of drain + the slice).
+    const long k_slice =
+        layer.vectorLen < cols ? layer.vectorLen : cols;
+    s.cycles = tiles_m * tiles_k * (k_slice + rows + cols);
+
+    s.vectorizeCycles = layer.vectorLen * cpuCyclesPerPack;
+    s.usefulMacs = layer.weights;
+    s.arrayMacs = static_cast<long>(layer.numNodes) * layer.vectorLen;
+    return s;
+}
+
+AdamStats
+AdamEngine::simulateGenome(const nn::InferenceSchedule &sched) const
+{
+    AdamStats total;
+    for (const auto &layer : sched.layers) {
+        const AdamLayerStats ls = simulateLayer(layer);
+        total.cycles += ls.cycles;
+        total.vectorizeCycles += ls.vectorizeCycles;
+        total.usefulMacs += ls.usefulMacs;
+        total.arrayMacs += ls.arrayMacs;
+        // Weights and the packed input vector are fetched from the
+        // Genome Buffer; the layer's outputs are written back.
+        total.sramReads +=
+            static_cast<long>(layer.weights) + layer.vectorLen;
+        total.sramWrites += layer.numNodes;
+        ++total.layers;
+    }
+    return total;
+}
+
+AdamStats
+AdamEngine::simulatePopulation(
+    const std::vector<GenomeInferenceWork> &work) const
+{
+    AdamStats s;
+    if (work.empty())
+        return s;
+
+    long total_useful = 0;
+    double density_weighted = 0.0;
+    long batched_steps = 0;
+    long max_layers = 0;
+
+    for (const auto &w : work) {
+        const long per_pass = w.schedule.totalMacs();
+        total_useful += per_pass * w.inferences;
+        density_weighted += w.schedule.meanDensity() *
+                            static_cast<double>(per_pass) *
+                            static_cast<double>(w.inferences);
+        batched_steps = std::max(batched_steps, w.inferences);
+        max_layers = std::max(
+            max_layers, static_cast<long>(w.schedule.layers.size()));
+
+        // Pack-index construction: once per generation per genome.
+        s.vectorizeCycles +=
+            w.schedule.totalNodes() * cpuCyclesPerPack;
+
+        // Weights enter the array once per generation.
+        s.sramReads += w.schedule.totalMacs();
+        // Byte-packed observations in, outputs back, every pass.
+        const long obs = w.schedule.layers.empty()
+                             ? 0
+                             : w.schedule.layers.front().vectorLen;
+        const long outs = w.schedule.layers.empty()
+                              ? 0
+                              : w.schedule.layers.back().numNodes;
+        s.inputWords += w.inferences *
+                        ((obs + ioElementsPerWord - 1) /
+                         ioElementsPerWord);
+        s.outputWords += w.inferences *
+                         ((outs + ioElementsPerWord - 1) /
+                          ioElementsPerWord);
+        s.sramWrites += w.inferences * outs;
+        s.layers += static_cast<long>(w.schedule.layers.size());
+    }
+    s.sramReads += s.inputWords;
+
+    const double density =
+        total_useful > 0
+            ? density_weighted / static_cast<double>(total_useful)
+            : 1.0;
+    const double efficiency =
+        packEfficiency * std::clamp(density, 0.3, 1.0);
+
+    s.usefulMacs = total_useful;
+    s.arrayMacs = static_cast<long>(
+        static_cast<double>(total_useful) / std::max(0.05, efficiency));
+
+    // Compute: useful MACs at the packed rate, plus array fill/drain
+    // per batched step per graph level.
+    const long array = soc_.adamMacs();
+    s.cycles = (s.arrayMacs + array - 1) / array +
+               batched_steps * max_layers *
+                   (soc_.adamRows + soc_.adamCols);
+    return s;
+}
+
+AdamStats
+AdamEngine::simulateInference(const nn::InferenceSchedule &sched,
+                              long inferences) const
+{
+    // Within a generation the weight matrices are generated once and
+    // reused for every inference ("the weight matrices do not change
+    // within a given generation", Section IV-A); inputs are packed
+    // per pass.
+    AdamStats per_pass = simulateGenome(sched);
+    AdamStats total = per_pass;
+    if (inferences > 1) {
+        AdamStats repeat = per_pass;
+        // Weight fetch amortized: subsequent passes only re-read the
+        // input vectors.
+        repeat.sramReads = 0;
+        for (const auto &layer : sched.layers)
+            repeat.sramReads += layer.vectorLen;
+        for (long i = 1; i < inferences; ++i)
+            total += repeat;
+    }
+    return total;
+}
+
+} // namespace genesys::hw

@@ -1,0 +1,52 @@
+#include "hw/energy_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace genesys::hw
+{
+
+PowerBreakdown
+EnergyModel::rooflinePower(const SocParams &soc) const
+{
+    PowerBreakdown b;
+    b.eveMw = p_.evePeMw * soc.numEvePe;
+    b.adamMw = p_.adamMacMw * soc.adamMacs();
+    b.sramMw = p_.sramMwPerKiB * soc.sramKiB;
+    b.m0Mw = p_.m0Mw;
+    return b;
+}
+
+PowerBreakdown
+EnergyModel::gatedPower(const SocParams &soc, double busy_fraction) const
+{
+    GENESYS_ASSERT(busy_fraction >= 0.0 && busy_fraction <= 1.0,
+                   "busy fraction must be in [0,1]");
+    PowerBreakdown roof = rooflinePower(soc);
+    const double duty =
+        busy_fraction + (1.0 - busy_fraction) * gatedResidual;
+    PowerBreakdown b;
+    // Compute engines and the Genome Buffer gate off between
+    // environment interactions; the M0 stays awake to run the
+    // environment interface and selector thread.
+    b.eveMw = roof.eveMw * duty;
+    b.adamMw = roof.adamMw * duty;
+    b.sramMw = roof.sramMw * duty;
+    b.m0Mw = roof.m0Mw;
+    return b;
+}
+
+AreaBreakdown
+EnergyModel::area(const SocParams &soc) const
+{
+    AreaBreakdown a;
+    a.eveMm2 = p_.evePeMm2 * soc.numEvePe;
+    a.adamMm2 = p_.adamMacMm2 * soc.adamMacs();
+    a.sramMm2 = p_.sramMm2PerKiB * soc.sramKiB;
+    a.m0Mm2 = p_.m0Mm2;
+    a.overheadMm2 = p_.overheadMm2;
+    return a;
+}
+
+} // namespace genesys::hw

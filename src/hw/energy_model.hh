@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Energy / power / area model of the GeneSys SoC in 15 nm
+ * (Section V, Fig 8). The constants are calibrated so the published
+ * design point is reproduced exactly: 256 EvE PEs + 32x32 ADAM +
+ * 1.5 MB SRAM at 200 MHz => 0.89 mm^2 EvE, 0.25 mm^2 ADAM, 2.45 mm^2
+ * SoC, 947.5 mW roofline power.
+ */
+
+#ifndef GENESYS_HW_ENERGY_MODEL_HH
+#define GENESYS_HW_ENERGY_MODEL_HH
+
+namespace genesys::hw
+{
+
+/** On-chip network topology options (Section IV-C4). */
+enum class NocTopology
+{
+    PointToPoint, ///< separate high-bandwidth buses, one read/consumer
+    MulticastTree, ///< tree with multicast: one read/unique gene
+};
+
+/** Static configuration of a GeneSys SoC instance. */
+struct SocParams
+{
+    int numEvePe = 256;
+    int adamRows = 32;
+    int adamCols = 32;
+    int sramKiB = 1536; ///< 1.5 MB Genome Buffer
+    int sramBanks = 48;
+    NocTopology noc = NocTopology::MulticastTree;
+    double frequencyHz = 200e6;
+
+    int adamMacs() const { return adamRows * adamCols; }
+};
+
+/**
+ * Per-event energies (picojoules) and per-component powers
+ * (milliwatts) for the 15 nm implementation.
+ */
+struct EnergyParams
+{
+    // --- dynamic energy per event, pJ ---------------------------------
+    double sramReadPj = 40.0;   ///< 64-bit read from a 32 KiB bank
+    double sramWritePj = 45.0;
+    double dramAccessPjPerByte = 150.0;
+    double evePeOpPj = 2.0;     ///< one gene through the 4-stage pipe
+    double macPj = 0.4;         ///< one 16-bit MAC
+    double nocTraversalPj = 1.5; ///< one gene delivered to one PE
+    double cpuOpPj = 20.0;      ///< Cortex-M0 instruction
+
+    // --- roofline power per component, mW ---------------------------------
+    double evePeMw = 1.959;     ///< one EvE PE, fully active
+    double adamMacMw = 0.25;    ///< one MAC PE, fully active
+    double sramMwPerKiB = 0.1171875; ///< 1.5 MB -> 180 mW
+    double m0Mw = 10.0;
+
+    // --- area, mm^2 ----------------------------------------------------------
+    double evePeMm2 = 0.059 * 0.059;   ///< 59 um x 59 um (Fig 8a)
+    double adamMacMm2 = 0.015 * 0.015; ///< 15 um x 15 um (Fig 8a)
+    double sramMm2PerKiB = 1.125 / 1536.0;
+    double m0Mm2 = 0.05;
+    double overheadMm2 = 0.15;         ///< global wiring / pads
+};
+
+/** Per-component power breakdown (Fig 8(b) series). */
+struct PowerBreakdown
+{
+    double eveMw = 0.0;
+    double sramMw = 0.0;
+    double adamMw = 0.0;
+    double m0Mw = 0.0;
+
+    double
+    totalMw() const
+    {
+        return eveMw + sramMw + adamMw + m0Mw;
+    }
+};
+
+/** Per-component area breakdown (Fig 8(c) series). */
+struct AreaBreakdown
+{
+    double eveMm2 = 0.0;
+    double sramMm2 = 0.0;
+    double adamMm2 = 0.0;
+    double m0Mm2 = 0.0;
+    double overheadMm2 = 0.0;
+
+    double
+    totalMm2() const
+    {
+        return eveMm2 + sramMm2 + adamMm2 + m0Mm2 + overheadMm2;
+    }
+};
+
+/** The analytical power/area/energy model. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(EnergyParams params = {}) : p_(params) {}
+
+    const EnergyParams &params() const { return p_; }
+
+    /**
+     * Roofline (always-computing) power: the pessimistic bound of
+     * Fig 8(b).
+     */
+    PowerBreakdown rooflinePower(const SocParams &soc) const;
+
+    /**
+     * Average power with clock/power gating (Section VI-D: "for real
+     * life workloads, the interactions will be much slower. This
+     * enables us to use circuit level techniques like clock and power
+     * gating"). `busy_fraction` is the share of wall-clock time the
+     * SoC actually computes; gated components retain only
+     * `gatedResidual` of their roofline power.
+     */
+    PowerBreakdown gatedPower(const SocParams &soc,
+                              double busy_fraction) const;
+
+    /** Residual (leakage) fraction of a power-gated component. */
+    static constexpr double gatedResidual = 0.03;
+
+    /** Die area (Fig 8(c)). */
+    AreaBreakdown area(const SocParams &soc) const;
+
+    /** Seconds for `cycles` at the SoC frequency. */
+    double
+    cyclesToSeconds(const SocParams &soc, double cycles) const
+    {
+        return cycles / soc.frequencyHz;
+    }
+
+    // --- event energies in joules -----------------------------------------
+    double sramReadJ() const { return p_.sramReadPj * 1e-12; }
+    double sramWriteJ() const { return p_.sramWritePj * 1e-12; }
+    double dramByteJ() const { return p_.dramAccessPjPerByte * 1e-12; }
+    double evePeOpJ() const { return p_.evePeOpPj * 1e-12; }
+    double macJ() const { return p_.macPj * 1e-12; }
+    double nocTraversalJ() const { return p_.nocTraversalPj * 1e-12; }
+    double cpuOpJ() const { return p_.cpuOpPj * 1e-12; }
+
+  private:
+    EnergyParams p_;
+};
+
+} // namespace genesys::hw
+
+#endif // GENESYS_HW_ENERGY_MODEL_HH

@@ -1,0 +1,84 @@
+#include "hw/eve.hh"
+
+#include <algorithm>
+
+#include "hw/gene_split.hh"
+
+namespace genesys::hw
+{
+
+EveGenStats
+EveEngine::simulateGeneration(const neat::EvolutionTrace &trace,
+                              long generation_bytes) const
+{
+    EveGenStats s;
+
+    const auto waves = allocateWaves(trace, soc_.numEvePe);
+    s.waves = static_cast<int>(waves.size());
+
+    long busy_pe_cycles = 0;
+
+    for (const auto &wave : waves) {
+        // Per-child pipeline occupancy: 2-cycle header + one cycle
+        // per aligned stream slot + stalls for genes added by the
+        // Add Gene Engine + 4-cycle drain.
+        long wave_compute_cycles = 0;
+        for (size_t idx : wave) {
+            const auto &c = trace.children[idx];
+            const long child_cycles = 2 +
+                                      static_cast<long>(
+                                          c.alignedStreamLen) +
+                                      c.ops.addOps + 4;
+            wave_compute_cycles =
+                std::max(wave_compute_cycles, child_cycles);
+            busy_pe_cycles += child_cycles;
+            s.peOps += c.ops.total();
+            ++s.childrenBred;
+        }
+
+        const WaveTraffic traffic = waveTraffic(soc_.noc, trace, wave);
+        s.sramReads += traffic.sramReads;
+        s.geneDeliveries += traffic.deliveries;
+
+        // The Genome Buffer's banks cap the delivery bandwidth; a
+        // point-to-point NoC demanding hundreds of reads per cycle
+        // becomes bandwidth bound.
+        s.cycles += buffer_.serveCycles(traffic.sramReads,
+                                        wave_compute_cycles);
+    }
+
+    // Child genomes written back through Gene Merge (elites stay in
+    // place and cost nothing).
+    for (const auto &c : trace.children) {
+        if (!c.isElite)
+            s.sramWrites += static_cast<long>(c.childGenes());
+    }
+
+    // DRAM spill if two generations (parents + children) exceed the
+    // buffer.
+    long resident = generation_bytes;
+    if (resident == 0) {
+        resident = 8 * (trace.totalChildGenes() +
+                        trace.totalParentGenesStreamed() /
+                            std::max<long>(1, s.childrenBred));
+    }
+    s.dramBytes = buffer_.dramSpillBytes(resident);
+
+    s.readsPerCycle =
+        s.cycles > 0 ? static_cast<double>(s.sramReads) /
+                           static_cast<double>(s.cycles)
+                     : 0.0;
+    s.peUtilization =
+        s.cycles > 0 ? static_cast<double>(busy_pe_cycles) /
+                           (static_cast<double>(s.cycles) * soc_.numEvePe)
+                     : 0.0;
+
+    s.sramEnergyJ = s.sramReads * energy_.sramReadJ() +
+                    s.sramWrites * energy_.sramWriteJ();
+    s.peEnergyJ = s.peOps * energy_.evePeOpJ();
+    s.nocEnergyJ = s.geneDeliveries * energy_.nocTraversalJ();
+    s.dramEnergyJ = s.dramBytes * energy_.dramByteJ();
+    return s;
+}
+
+} // namespace genesys::hw

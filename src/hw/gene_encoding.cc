@@ -1,0 +1,160 @@
+#include "hw/gene_encoding.hh"
+
+#include "common/logging.hh"
+
+namespace genesys::hw
+{
+
+namespace
+{
+
+constexpr int idBias = 1 << 15;
+
+uint64_t
+field(uint64_t v, int shift, int bits)
+{
+    return (v & ((1ULL << bits) - 1)) << shift;
+}
+
+uint64_t
+extract(uint64_t raw, int shift, int bits)
+{
+    return (raw >> shift) & ((1ULL << bits) - 1);
+}
+
+} // namespace
+
+GeneCodec::GeneCodec() : attr_(6, 10) {}
+
+uint16_t
+GeneCodec::packId(int id)
+{
+    const int biased = id + idBias;
+    GENESYS_ASSERT(biased >= 0 && biased < (1 << 16),
+                   "node id " << id << " out of encodable range");
+    return static_cast<uint16_t>(biased);
+}
+
+int
+GeneCodec::unpackId(uint16_t f)
+{
+    return static_cast<int>(f) - idBias;
+}
+
+PackedGene
+GeneCodec::encodeNode(const neat::NodeGene &g, NodeClass cls) const
+{
+    PackedGene p;
+    p.raw = field(0, 63, 1) |
+            field(static_cast<uint64_t>(cls), 61, 2) |
+            field(packId(g.key), 45, 16) |
+            field(attr_.encode(g.bias), 29, 16) |
+            field(attr_.encode(g.response), 13, 16) |
+            field(static_cast<uint64_t>(g.activation), 9, 4) |
+            field(static_cast<uint64_t>(g.aggregation), 6, 3);
+    return p;
+}
+
+neat::NodeGene
+GeneCodec::decodeNode(PackedGene p) const
+{
+    GENESYS_ASSERT(p.isNode(), "decodeNode on a connection gene");
+    neat::NodeGene g;
+    g.key = unpackId(static_cast<uint16_t>(extract(p.raw, 45, 16)));
+    g.bias = attr_.decode(static_cast<uint16_t>(extract(p.raw, 29, 16)));
+    g.response =
+        attr_.decode(static_cast<uint16_t>(extract(p.raw, 13, 16)));
+    g.activation =
+        static_cast<neat::Activation>(extract(p.raw, 9, 4));
+    g.aggregation =
+        static_cast<neat::Aggregation>(extract(p.raw, 6, 3));
+    return g;
+}
+
+NodeClass
+GeneCodec::nodeClass(PackedGene p) const
+{
+    GENESYS_ASSERT(p.isNode(), "nodeClass on a connection gene");
+    return static_cast<NodeClass>(extract(p.raw, 61, 2));
+}
+
+int
+GeneCodec::nodeId(PackedGene p) const
+{
+    GENESYS_ASSERT(p.isNode(), "nodeId on a connection gene");
+    return unpackId(static_cast<uint16_t>(extract(p.raw, 45, 16)));
+}
+
+PackedGene
+GeneCodec::encodeConnection(const neat::ConnectionGene &g) const
+{
+    PackedGene p;
+    p.raw = field(1, 63, 1) |
+            field(packId(g.key.first), 47, 16) |
+            field(packId(g.key.second), 31, 16) |
+            field(attr_.encode(g.weight), 15, 16) |
+            field(g.enabled ? 1 : 0, 14, 1);
+    return p;
+}
+
+neat::ConnectionGene
+GeneCodec::decodeConnection(PackedGene p) const
+{
+    GENESYS_ASSERT(p.isConnection(), "decodeConnection on a node gene");
+    neat::ConnectionGene g;
+    g.key = {unpackId(static_cast<uint16_t>(extract(p.raw, 47, 16))),
+             unpackId(static_cast<uint16_t>(extract(p.raw, 31, 16)))};
+    g.weight = attr_.decode(static_cast<uint16_t>(extract(p.raw, 15, 16)));
+    g.enabled = extract(p.raw, 14, 1) != 0;
+    return g;
+}
+
+int
+GeneCodec::connectionSource(PackedGene p) const
+{
+    GENESYS_ASSERT(p.isConnection(), "source of a node gene");
+    return unpackId(static_cast<uint16_t>(extract(p.raw, 47, 16)));
+}
+
+int
+GeneCodec::connectionDest(PackedGene p) const
+{
+    GENESYS_ASSERT(p.isConnection(), "dest of a node gene");
+    return unpackId(static_cast<uint16_t>(extract(p.raw, 31, 16)));
+}
+
+std::vector<PackedGene>
+GeneCodec::encodeGenome(const neat::Genome &g,
+                        const neat::NeatConfig &cfg) const
+{
+    std::vector<PackedGene> out;
+    out.reserve(g.numGenes());
+    // Node cluster first, ascending ids (std::map iteration order).
+    for (const auto &[nk, ng] : g.nodes()) {
+        const NodeClass cls =
+            nk < cfg.numOutputs ? NodeClass::Output : NodeClass::Hidden;
+        out.push_back(encodeNode(ng, cls));
+    }
+    // Connection cluster, ascending (src, dst).
+    for (const auto &[ck, cg] : g.connections())
+        out.push_back(encodeConnection(cg));
+    return out;
+}
+
+neat::Genome
+GeneCodec::decodeGenome(const std::vector<PackedGene> &stream, int key) const
+{
+    neat::Genome g(key);
+    for (const PackedGene p : stream) {
+        if (p.isNode()) {
+            const auto ng = decodeNode(p);
+            g.mutableNodes().emplace(ng.key, ng);
+        } else {
+            const auto cg = decodeConnection(p);
+            g.mutableConnections().emplace(cg.key, cg);
+        }
+    }
+    return g;
+}
+
+} // namespace genesys::hw

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The 64-bit hardware gene format of Fig 6.
+ *
+ * "We use 64 bits to capture both types of genes. Node genes have
+ * four attributes - {Bias, Response, Activation, Aggregation}.
+ * Connection genes have two attributes - source and destination node
+ * ids" (Section IV-C2).
+ *
+ * Layout (bit 63 = MSB):
+ *   [63]      gene type: 0 = node, 1 = connection
+ *   node gene:
+ *   [62:61]   node class: 00 hidden, 01 input, 10 output
+ *   [60:45]   node id (16 bits, biased by +2^15 to cover input ids)
+ *   [44:29]   bias      (Q6.10 fixed point)
+ *   [28:13]   response  (Q6.10 fixed point)
+ *   [12:9]    activation (4 bits)
+ *   [8:6]     aggregation (3 bits)
+ *   [5:0]     reserved
+ *   connection gene:
+ *   [62:47]   source node id (16 bits, biased)
+ *   [46:31]   destination node id (16 bits, biased)
+ *   [30:15]   weight (Q6.10 fixed point)
+ *   [14]      enabled
+ *   [13:0]    reserved
+ */
+
+#ifndef GENESYS_HW_GENE_ENCODING_HH
+#define GENESYS_HW_GENE_ENCODING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_point.hh"
+#include "neat/genome.hh"
+
+namespace genesys::hw
+{
+
+/** Node class field values (Fig 6). */
+enum class NodeClass : uint8_t
+{
+    Hidden = 0,
+    Input = 1,
+    Output = 2,
+};
+
+/** One 64-bit gene word as stored in the Genome Buffer. */
+struct PackedGene
+{
+    uint64_t raw = 0;
+
+    bool isConnection() const { return (raw >> 63) & 1; }
+    bool isNode() const { return !isConnection(); }
+};
+
+/**
+ * Codec between software genes and the 64-bit hardware format.
+ * Float attributes saturate to the Q6.10 range [-32, 32), matching
+ * the NEAT attribute bounds of +/-30.
+ */
+class GeneCodec
+{
+  public:
+    GeneCodec();
+
+    /** Fixed-point codec used for bias/response/weight fields. */
+    const FixedPointCodec &attrCodec() const { return attr_; }
+
+    // --- node genes ------------------------------------------------------
+    PackedGene encodeNode(const neat::NodeGene &g, NodeClass cls) const;
+    neat::NodeGene decodeNode(PackedGene p) const;
+    NodeClass nodeClass(PackedGene p) const;
+    int nodeId(PackedGene p) const;
+
+    // --- connection genes ---------------------------------------------------
+    PackedGene encodeConnection(const neat::ConnectionGene &g) const;
+    neat::ConnectionGene decodeConnection(PackedGene p) const;
+    int connectionSource(PackedGene p) const;
+    int connectionDest(PackedGene p) const;
+
+    // --- whole genomes --------------------------------------------------------
+    /**
+     * Serialize a genome in the on-chip organization (Section
+     * IV-C5): node genes first, then connection genes, each cluster
+     * sorted ascending by id.
+     */
+    std::vector<PackedGene> encodeGenome(const neat::Genome &g,
+                                         const neat::NeatConfig &cfg) const;
+
+    /** Rebuild a genome (key `key`) from its packed stream. */
+    neat::Genome decodeGenome(const std::vector<PackedGene> &stream,
+                              int key) const;
+
+    /** Signed node id <-> biased 16-bit field. */
+    static uint16_t packId(int id);
+    static int unpackId(uint16_t field);
+
+  private:
+    FixedPointCodec attr_;
+};
+
+} // namespace genesys::hw
+
+#endif // GENESYS_HW_GENE_ENCODING_HH

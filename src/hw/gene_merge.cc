@@ -1,0 +1,40 @@
+#include "hw/gene_merge.hh"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace genesys::hw
+{
+
+MergeResult
+mergeChild(const std::vector<PackedGene> &genes, const GeneCodec &codec)
+{
+    MergeResult result;
+
+    std::map<int, PackedGene> nodes;
+    std::map<std::pair<int, int>, PackedGene> conns;
+
+    for (const PackedGene g : genes) {
+        if (g.isNode()) {
+            const int id = codec.nodeId(g);
+            if (!nodes.emplace(id, g).second)
+                ++result.duplicatesDropped;
+        } else {
+            const std::pair<int, int> key{codec.connectionSource(g),
+                                          codec.connectionDest(g)};
+            if (!conns.emplace(key, g).second)
+                ++result.duplicatesDropped;
+        }
+    }
+
+    result.genome.reserve(nodes.size() + conns.size());
+    for (const auto &[id, g] : nodes)
+        result.genome.push_back(g);
+    for (const auto &[key, g] : conns)
+        result.genome.push_back(g);
+    result.sramWrites = static_cast<long>(result.genome.size());
+    return result;
+}
+
+} // namespace genesys::hw

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Gene Merge unit (Section IV-C4/C5): collects child genes from the
+ * PEs, restores the genome organization (node cluster then connection
+ * cluster, each sorted ascending), drops duplicates created by the
+ * Add Gene Engine, and writes the genome back to the Genome Buffer.
+ */
+
+#ifndef GENESYS_HW_GENE_MERGE_HH
+#define GENESYS_HW_GENE_MERGE_HH
+
+#include <vector>
+
+#include "hw/gene_encoding.hh"
+
+namespace genesys::hw
+{
+
+/** Result of merging one child's gene stream. */
+struct MergeResult
+{
+    /** The organized genome image written to SRAM. */
+    std::vector<PackedGene> genome;
+    /** 64-bit SRAM writes performed. */
+    long sramWrites = 0;
+    /** Duplicate genes (same key) dropped, keeping the first. */
+    long duplicatesDropped = 0;
+};
+
+/**
+ * Merge a child gene stream into genome order. The input may be
+ * out of order only where the Add Gene Engine appended new genes;
+ * everything else arrives pre-sorted because parents are streamed
+ * in order and children inherit their keys (Section IV-C5).
+ */
+MergeResult mergeChild(const std::vector<PackedGene> &genes,
+                       const GeneCodec &codec);
+
+} // namespace genesys::hw
+
+#endif // GENESYS_HW_GENE_MERGE_HH

@@ -1,0 +1,96 @@
+#include "hw/gene_split.hh"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/logging.hh"
+
+namespace genesys::hw
+{
+
+namespace
+{
+
+/** Sort key for merge-join: (is_connection, id/src, 0/dst). */
+std::tuple<int, int, int>
+geneKey(const GeneCodec &codec, PackedGene g)
+{
+    if (g.isNode())
+        return {0, codec.nodeId(g), 0};
+    return {1, codec.connectionSource(g), codec.connectionDest(g)};
+}
+
+} // namespace
+
+std::vector<GenePair>
+alignStreams(const std::vector<PackedGene> &parent1,
+             const std::vector<PackedGene> &parent2,
+             const GeneCodec &codec, long *cycles_out)
+{
+    std::vector<GenePair> out;
+    out.reserve(parent1.size());
+    long cycles = 0;
+
+    size_t i = 0, j = 0;
+    while (i < parent1.size() || j < parent2.size()) {
+        ++cycles;
+        if (j >= parent2.size() ||
+            (i < parent1.size() &&
+             geneKey(codec, parent1[i]) < geneKey(codec, parent2[j]))) {
+            // Parent-1-only gene: singleton pair.
+            GenePair p;
+            p.parent1 = parent1[i++];
+            p.hasParent2 = false;
+            out.push_back(p);
+        } else if (i >= parent1.size() ||
+                   geneKey(codec, parent2[j]) <
+                       geneKey(codec, parent1[i])) {
+            // Parent-2-only gene: consumed by the aligner, no pair.
+            ++j;
+        } else {
+            GenePair p;
+            p.parent1 = parent1[i++];
+            p.parent2 = parent2[j++];
+            p.hasParent2 = true;
+            out.push_back(p);
+        }
+    }
+    if (cycles_out)
+        *cycles_out = cycles;
+    return out;
+}
+
+std::vector<std::vector<size_t>>
+allocateWaves(const neat::EvolutionTrace &trace, int num_pe)
+{
+    GENESYS_ASSERT(num_pe >= 1, "need at least one PE");
+
+    std::vector<size_t> order;
+    for (size_t i = 0; i < trace.children.size(); ++i) {
+        if (!trace.children[i].isElite)
+            order.push_back(i);
+    }
+    // Greedy grouping: cluster children by (parent1, parent2) so a
+    // wave draws from as few distinct parent genomes as possible.
+    std::sort(order.begin(), order.end(), [&trace](size_t a, size_t b) {
+        const auto &ca = trace.children[a];
+        const auto &cb = trace.children[b];
+        if (ca.parent1Key != cb.parent1Key)
+            return ca.parent1Key < cb.parent1Key;
+        if (ca.parent2Key != cb.parent2Key)
+            return ca.parent2Key < cb.parent2Key;
+        return a < b;
+    });
+
+    std::vector<std::vector<size_t>> waves;
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(num_pe)) {
+        const size_t end =
+            std::min(order.size(), start + static_cast<size_t>(num_pe));
+        waves.emplace_back(order.begin() + static_cast<long>(start),
+                           order.begin() + static_cast<long>(end));
+    }
+    return waves;
+}
+
+} // namespace genesys::hw

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Gene Split unit (Section IV-C4): orchestrates gene movement from
+ * the Genome Buffer to the PEs — aligning the two parents' gene
+ * streams by key so the Crossover Engine always sees matching gene
+ * pairs, and allocating PEs to children with a greedy policy that
+ * maximizes parent reuse (genome-level reuse, Section III-D3).
+ */
+
+#ifndef GENESYS_HW_GENE_SPLIT_HH
+#define GENESYS_HW_GENE_SPLIT_HH
+
+#include <vector>
+
+#include "hw/eve_pe.hh"
+#include "neat/trace.hh"
+
+namespace genesys::hw
+{
+
+/**
+ * Key-align two packed parent streams (each organized nodes-first,
+ * ascending ids). The output contains one GenePair per gene of
+ * parent 1 — homologous pairs where parent 2 carries the same key,
+ * singletons otherwise. Parent-2-only (disjoint) genes are read and
+ * discarded by the aligner, which costs stream cycles but produces
+ * no pair; `cycles_out` (if non-null) receives the union length.
+ */
+std::vector<GenePair> alignStreams(const std::vector<PackedGene> &parent1,
+                                   const std::vector<PackedGene> &parent2,
+                                   const GeneCodec &codec,
+                                   long *cycles_out = nullptr);
+
+/**
+ * Greedy PE allocation: children are grouped so that children of the
+ * same parents land in the same wave ("The PE allocation is done with
+ * a greedy policy, such that maximum number of children can be
+ * created from the parents currently in the SRAM", Section IV-C5).
+ * Returns waves of indices into trace.children (elites excluded —
+ * they never enter EvE).
+ */
+std::vector<std::vector<size_t>>
+allocateWaves(const neat::EvolutionTrace &trace, int num_pe);
+
+} // namespace genesys::hw
+
+#endif // GENESYS_HW_GENE_SPLIT_HH

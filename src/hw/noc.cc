@@ -1,0 +1,38 @@
+#include "hw/noc.hh"
+
+#include <map>
+
+namespace genesys::hw
+{
+
+WaveTraffic
+waveTraffic(NocTopology topology, const neat::EvolutionTrace &trace,
+            const std::vector<size_t> &wave)
+{
+    WaveTraffic t;
+
+    // Gene deliveries are topology-independent: each PE consumes its
+    // aligned stream either way.
+    for (size_t idx : wave) {
+        const auto &c = trace.children[idx];
+        t.deliveries += static_cast<long>(c.parent1Genes + c.parent2Genes);
+    }
+
+    if (topology == NocTopology::PointToPoint) {
+        t.sramReads = t.deliveries;
+        return t;
+    }
+
+    // Multicast: one read per distinct parent genome in the wave.
+    std::map<int, long> parentGenes;
+    for (size_t idx : wave) {
+        const auto &c = trace.children[idx];
+        parentGenes[c.parent1Key] = static_cast<long>(c.parent1Genes);
+        parentGenes[c.parent2Key] = static_cast<long>(c.parent2Genes);
+    }
+    for (const auto &[key, genes] : parentGenes)
+        t.sramReads += genes;
+    return t;
+}
+
+} // namespace genesys::hw

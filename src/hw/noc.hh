@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Network-on-chip models (Section IV-C4): a baseline pair of
+ * point-to-point buses (one distribution, one collection) versus a
+ * multicast tree that lets one SRAM read feed every PE consuming the
+ * same parent gene that cycle — the source of the >100x read
+ * reduction in Fig 11(b).
+ */
+
+#ifndef GENESYS_HW_NOC_HH
+#define GENESYS_HW_NOC_HH
+
+#include <vector>
+
+#include "hw/energy_model.hh"
+#include "neat/trace.hh"
+
+namespace genesys::hw
+{
+
+/** Per-wave traffic accounting. */
+struct WaveTraffic
+{
+    /** 64-bit words read from the Genome Buffer. */
+    long sramReads = 0;
+    /** Gene deliveries to PEs (same for both topologies). */
+    long deliveries = 0;
+};
+
+/**
+ * SRAM read traffic for one wave of concurrently-bred children.
+ *
+ * Point-to-point: every PE pulls its own copy of each parent gene:
+ * reads = sum over children of (parent1 + parent2 genes).
+ *
+ * Multicast tree: each distinct parent genome appearing in the wave
+ * is read once and multicast to all its consumers: reads = sum of
+ * distinct parents' gene counts.
+ */
+WaveTraffic waveTraffic(NocTopology topology,
+                        const neat::EvolutionTrace &trace,
+                        const std::vector<size_t> &wave);
+
+} // namespace genesys::hw
+
+#endif // GENESYS_HW_NOC_HH

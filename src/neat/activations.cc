@@ -1,0 +1,97 @@
+#include "neat/activations.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace genesys::neat
+{
+
+namespace
+{
+
+const std::array<std::string,
+                 static_cast<size_t>(Activation::NumActivations)>
+    activationNames = {
+        "sigmoid", "tanh", "relu",     "identity", "sin",
+        "gauss",   "abs",  "clamped",  "square",   "cube",
+        "log",     "exp",  "hat",      "inv",      "softplus",
+};
+
+} // namespace
+
+double
+activate(Activation a, double x)
+{
+    switch (a) {
+      case Activation::Sigmoid:
+        // neat-python scales the input by 5 for a steeper sigmoid.
+        return 1.0 / (1.0 + std::exp(-std::clamp(5.0 * x, -60.0, 60.0)));
+      case Activation::Tanh:
+        return std::tanh(std::clamp(2.5 * x, -60.0, 60.0));
+      case Activation::ReLU:
+        return x > 0.0 ? x : 0.0;
+      case Activation::Identity:
+        return x;
+      case Activation::Sin:
+        return std::sin(std::clamp(5.0 * x, -60.0, 60.0));
+      case Activation::Gauss:
+        return std::exp(-5.0 * std::clamp(x, -3.4, 3.4) * std::clamp(x, -3.4, 3.4));
+      case Activation::Abs:
+        return std::fabs(x);
+      case Activation::Clamped:
+        return std::clamp(x, -1.0, 1.0);
+      case Activation::Square:
+        return x * x;
+      case Activation::Cube:
+        return x * x * x;
+      case Activation::Log:
+        return std::log(std::max(x, 1e-7));
+      case Activation::Exp:
+        return std::exp(std::clamp(x, -60.0, 60.0));
+      case Activation::Hat:
+        return std::max(0.0, 1.0 - std::fabs(x));
+      case Activation::Inv:
+        return std::fabs(x) < 1e-7 ? 0.0 : 1.0 / x;
+      case Activation::Softplus:
+        return 0.2 * std::log(1.0 + std::exp(std::clamp(5.0 * x, -60.0, 60.0)));
+      default:
+        panic("unknown activation");
+    }
+}
+
+const std::string &
+activationName(Activation a)
+{
+    const auto idx = static_cast<size_t>(a);
+    GENESYS_ASSERT(idx < activationNames.size(), "bad activation value");
+    return activationNames[idx];
+}
+
+Activation
+activationFromName(const std::string &name)
+{
+    for (size_t i = 0; i < activationNames.size(); ++i) {
+        if (activationNames[i] == name)
+            return static_cast<Activation>(i);
+    }
+    fatal("unknown activation name: " + name);
+}
+
+const std::vector<Activation> &
+allActivations()
+{
+    static const std::vector<Activation> all = [] {
+        std::vector<Activation> v;
+        for (size_t i = 0;
+             i < static_cast<size_t>(Activation::NumActivations); ++i) {
+            v.push_back(static_cast<Activation>(i));
+        }
+        return v;
+    }();
+    return all;
+}
+
+} // namespace genesys::neat

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Node activation functions for NEAT genomes.
+ *
+ * The set mirrors the neat-python library the paper characterizes
+ * (Section III-A references [15]); the GeneSys gene encoding stores
+ * the activation selector in a 4-bit field (Fig 6), so the enum must
+ * stay within 16 entries.
+ */
+
+#ifndef GENESYS_NEAT_ACTIVATIONS_HH
+#define GENESYS_NEAT_ACTIVATIONS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace genesys::neat
+{
+
+/** Activation selector, encodable in the 4-bit gene field. */
+enum class Activation : uint8_t
+{
+    Sigmoid = 0,
+    Tanh,
+    ReLU,
+    Identity,
+    Sin,
+    Gauss,
+    Abs,
+    Clamped,
+    Square,
+    Cube,
+    Log,
+    Exp,
+    Hat,
+    Inv,
+    Softplus,
+    NumActivations,
+};
+
+/** Apply an activation function. Matches neat-python's definitions. */
+double activate(Activation a, double x);
+
+/** Human-readable name (e.g. "sigmoid"). */
+const std::string &activationName(Activation a);
+
+/** Parse a name back to the enum; throws on unknown names. */
+Activation activationFromName(const std::string &name);
+
+/** All valid activation values, in encoding order. */
+const std::vector<Activation> &allActivations();
+
+} // namespace genesys::neat
+
+#endif // GENESYS_NEAT_ACTIVATIONS_HH

@@ -1,0 +1,433 @@
+#include "neat/genome.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace genesys::neat
+{
+
+MutationCounts &
+MutationCounts::operator+=(const MutationCounts &o)
+{
+    crossoverOps += o.crossoverOps;
+    cloneOps += o.cloneOps;
+    perturbOps += o.perturbOps;
+    addOps += o.addOps;
+    deleteOps += o.deleteOps;
+    return *this;
+}
+
+size_t
+Genome::numEnabledConnections() const
+{
+    size_t n = 0;
+    for (const auto &[key, cg] : connections_) {
+        if (cg.enabled)
+            ++n;
+    }
+    return n;
+}
+
+std::vector<int>
+Genome::inputKeys(const NeatConfig &cfg)
+{
+    std::vector<int> keys;
+    keys.reserve(static_cast<size_t>(cfg.numInputs));
+    for (int i = 0; i < cfg.numInputs; ++i)
+        keys.push_back(-i - 1);
+    return keys;
+}
+
+std::vector<int>
+Genome::outputKeys(const NeatConfig &cfg)
+{
+    std::vector<int> keys;
+    keys.reserve(static_cast<size_t>(cfg.numOutputs));
+    for (int i = 0; i < cfg.numOutputs; ++i)
+        keys.push_back(i);
+    return keys;
+}
+
+Genome
+Genome::createNew(int key, const NeatConfig &cfg, NodeIndexer &indexer,
+                  XorWow &rng)
+{
+    Genome g(key);
+
+    for (int out : outputKeys(cfg)) {
+        g.nodes_.emplace(out, NodeGene::createNew(out, cfg, rng));
+        indexer.bump(out);
+    }
+    std::vector<int> hidden;
+    for (int i = 0; i < cfg.numHidden; ++i) {
+        const int nk = indexer.next();
+        hidden.push_back(nk);
+        g.nodes_.emplace(nk, NodeGene::createNew(nk, cfg, rng));
+    }
+
+    auto add_conn = [&](int src, int dst) {
+        const ConnKey ck{src, dst};
+        g.connections_.emplace(ck, ConnectionGene::createNew(ck, cfg, rng));
+    };
+
+    switch (cfg.initialConnection) {
+      case InitialConnection::Unconnected:
+        break;
+      case InitialConnection::FullDirect:
+        for (int in : inputKeys(cfg)) {
+            for (int out : outputKeys(cfg))
+                add_conn(in, out);
+        }
+        break;
+      case InitialConnection::PartialDirect:
+        for (int in : inputKeys(cfg)) {
+            for (int out : outputKeys(cfg)) {
+                if (rng.bernoulli(cfg.partialConnectionProb))
+                    add_conn(in, out);
+            }
+        }
+        break;
+    }
+
+    // Wire any requested initial hidden nodes input->hidden->output so
+    // they are live from the start.
+    for (int h : hidden) {
+        for (int in : inputKeys(cfg))
+            add_conn(in, h);
+        for (int out : outputKeys(cfg))
+            add_conn(h, out);
+    }
+    return g;
+}
+
+Genome
+Genome::crossover(int child_key, const Genome &parent1,
+                  const Genome &parent2, XorWow &rng, MutationCounts *counts)
+{
+    Genome child(child_key);
+
+    for (const auto &[nk, ng1] : parent1.nodes_) {
+        auto it = parent2.nodes_.find(nk);
+        if (it != parent2.nodes_.end()) {
+            child.nodes_.emplace(nk, ng1.crossover(it->second, rng));
+            if (counts)
+                ++counts->crossoverOps;
+        } else {
+            child.nodes_.emplace(nk, ng1);
+            if (counts)
+                ++counts->cloneOps;
+        }
+    }
+    for (const auto &[ck, cg1] : parent1.connections_) {
+        auto it = parent2.connections_.find(ck);
+        if (it != parent2.connections_.end()) {
+            child.connections_.emplace(ck, cg1.crossover(it->second, rng));
+            if (counts)
+                ++counts->crossoverOps;
+        } else {
+            child.connections_.emplace(ck, cg1);
+            if (counts)
+                ++counts->cloneOps;
+        }
+    }
+    return child;
+}
+
+MutationCounts
+Genome::mutate(const NeatConfig &cfg, NodeIndexer &indexer, XorWow &rng)
+{
+    MutationCounts counts;
+
+    if (cfg.singleStructuralMutation) {
+        const double div = std::max(1.0, cfg.nodeAddProb +
+                                             cfg.nodeDeleteProb +
+                                             cfg.connAddProb +
+                                             cfg.connDeleteProb);
+        const double r = rng.uniform();
+        double acc = cfg.nodeAddProb / div;
+        if (r < acc) {
+            if (mutateAddNode(cfg, indexer, rng) >= 0)
+                counts.addOps += 3; // node + two connections
+        } else if (r < (acc += cfg.nodeDeleteProb / div)) {
+            counts.deleteOps += deleteNodeIfAllowed(cfg, rng);
+        } else if (r < (acc += cfg.connAddProb / div)) {
+            if (mutateAddConnection(cfg, rng))
+                ++counts.addOps;
+        } else if (r < acc + cfg.connDeleteProb / div) {
+            counts.deleteOps += mutateDeleteConnection(rng);
+        }
+    } else {
+        if (rng.bernoulli(cfg.nodeAddProb)) {
+            if (mutateAddNode(cfg, indexer, rng) >= 0)
+                counts.addOps += 3;
+        }
+        if (rng.bernoulli(cfg.nodeDeleteProb))
+            counts.deleteOps += deleteNodeIfAllowed(cfg, rng);
+        if (rng.bernoulli(cfg.connAddProb)) {
+            if (mutateAddConnection(cfg, rng))
+                ++counts.addOps;
+        }
+        if (rng.bernoulli(cfg.connDeleteProb))
+            counts.deleteOps += mutateDeleteConnection(rng);
+    }
+
+    // Attribute perturbation pass over every gene (Fig 3(d)
+    // "Mutation: Perturb"). One gene-op per gene, matching the
+    // hardware's gene-per-cycle streaming.
+    for (auto &[nk, ng] : nodes_) {
+        ng.mutate(cfg, rng);
+        ++counts.perturbOps;
+    }
+    for (auto &[ck, cg] : connections_) {
+        cg.mutate(cfg, rng);
+        ++counts.perturbOps;
+    }
+    return counts;
+}
+
+long
+Genome::deleteNodeIfAllowed(const NeatConfig &cfg, XorWow &rng)
+{
+    // EvE's Delete Gene Engine checks the number of previously
+    // deleted nodes against a threshold "to keep the genome alive"
+    // (Section IV-C3).
+    if (cfg.maxNodeDeletionsPerChild > 0 &&
+        nodeDeletions_ >= cfg.maxNodeDeletionsPerChild) {
+        return 0;
+    }
+    return mutateDeleteNode(cfg, rng);
+}
+
+int
+Genome::mutateAddNode(const NeatConfig &cfg, NodeIndexer &indexer,
+                      XorWow &rng)
+{
+    if (connections_.empty())
+        return -1;
+
+    // Pick a random connection to split.
+    auto it = connections_.begin();
+    std::advance(it, rng.uniformInt(
+        static_cast<uint32_t>(connections_.size())));
+    ConnectionGene &conn = it->second;
+    conn.enabled = false;
+
+    const int new_key = indexer.next();
+    nodes_.emplace(new_key, NodeGene::createNew(new_key, cfg, rng));
+
+    const auto [src, dst] = conn.key;
+    // in -> new carries weight 1, new -> out carries the old weight,
+    // preserving the original function at the moment of the split.
+    ConnectionGene c1;
+    c1.key = {src, new_key};
+    c1.weight = 1.0;
+    c1.enabled = true;
+    ConnectionGene c2;
+    c2.key = {new_key, dst};
+    c2.weight = conn.weight;
+    c2.enabled = true;
+    connections_.insert_or_assign(c1.key, c1);
+    connections_.insert_or_assign(c2.key, c2);
+    return new_key;
+}
+
+bool
+Genome::mutateAddConnection(const NeatConfig &cfg, XorWow &rng)
+{
+    // Destination: any hidden or output node. Source: any node or
+    // input pin.
+    std::vector<int> out_candidates;
+    out_candidates.reserve(nodes_.size());
+    for (const auto &[nk, ng] : nodes_)
+        out_candidates.push_back(nk);
+    if (out_candidates.empty())
+        return false;
+
+    std::vector<int> in_candidates = out_candidates;
+    for (int in : inputKeys(cfg))
+        in_candidates.push_back(in);
+
+    const int src = in_candidates[rng.choiceIndex(in_candidates)];
+    const int dst = out_candidates[rng.choiceIndex(out_candidates)];
+    const ConnKey key{src, dst};
+
+    if (connections_.count(key))
+        return false;
+
+    // Avoid connecting two output nodes directly (neat-python rule).
+    const bool src_is_output = src >= 0 && src < cfg.numOutputs;
+    const bool dst_is_output = dst >= 0 && dst < cfg.numOutputs;
+    if (src_is_output && dst_is_output)
+        return false;
+
+    if (cfg.feedForward && createsCycle(connections_, key))
+        return false;
+
+    connections_.emplace(key, ConnectionGene::createNew(key, cfg, rng));
+    return true;
+}
+
+long
+Genome::mutateDeleteNode(const NeatConfig &cfg, XorWow &rng)
+{
+    // Hidden nodes only: outputs are structural, inputs are not genes.
+    std::vector<int> hidden;
+    for (const auto &[nk, ng] : nodes_) {
+        if (nk >= cfg.numOutputs)
+            hidden.push_back(nk);
+    }
+    if (hidden.empty())
+        return 0;
+
+    const int victim = hidden[rng.choiceIndex(hidden)];
+    long removed = 1;
+    nodes_.erase(victim);
+    ++nodeDeletions_;
+
+    // Prune dangling connections — in hardware this is the node-ID
+    // register compare in the Delete Gene Engine (Fig 7).
+    for (auto it = connections_.begin(); it != connections_.end();) {
+        if (it->first.first == victim || it->first.second == victim) {
+            it = connections_.erase(it);
+            ++removed;
+        } else {
+            ++it;
+        }
+    }
+    return removed;
+}
+
+long
+Genome::mutateDeleteConnection(XorWow &rng)
+{
+    if (connections_.empty())
+        return 0;
+    auto it = connections_.begin();
+    std::advance(it, rng.uniformInt(
+        static_cast<uint32_t>(connections_.size())));
+    connections_.erase(it);
+    return 1;
+}
+
+double
+Genome::distance(const Genome &other, const NeatConfig &cfg) const
+{
+    double node_distance = 0.0;
+    if (!nodes_.empty() || !other.nodes_.empty()) {
+        long disjoint = 0;
+        double d = 0.0;
+        for (const auto &[nk, ng2] : other.nodes_) {
+            if (!nodes_.count(nk))
+                ++disjoint;
+        }
+        for (const auto &[nk, ng1] : nodes_) {
+            auto it = other.nodes_.find(nk);
+            if (it == other.nodes_.end()) {
+                ++disjoint;
+            } else {
+                d += ng1.distance(it->second) *
+                     cfg.compatibilityWeightCoefficient;
+            }
+        }
+        const double max_nodes = static_cast<double>(
+            std::max(nodes_.size(), other.nodes_.size()));
+        node_distance =
+            (d + cfg.compatibilityDisjointCoefficient *
+                     static_cast<double>(disjoint)) /
+            max_nodes;
+    }
+
+    double conn_distance = 0.0;
+    if (!connections_.empty() || !other.connections_.empty()) {
+        long disjoint = 0;
+        double d = 0.0;
+        for (const auto &[ck, cg2] : other.connections_) {
+            if (!connections_.count(ck))
+                ++disjoint;
+        }
+        for (const auto &[ck, cg1] : connections_) {
+            auto it = other.connections_.find(ck);
+            if (it == other.connections_.end()) {
+                ++disjoint;
+            } else {
+                d += cg1.distance(it->second) *
+                     cfg.compatibilityWeightCoefficient;
+            }
+        }
+        const double max_conns = static_cast<double>(
+            std::max(connections_.size(), other.connections_.size()));
+        conn_distance =
+            (d + cfg.compatibilityDisjointCoefficient *
+                     static_cast<double>(disjoint)) /
+            max_conns;
+    }
+    return node_distance + conn_distance;
+}
+
+void
+Genome::validate(const NeatConfig &cfg) const
+{
+    std::set<int> valid_sources;
+    std::set<int> valid_dests;
+    for (int in : inputKeys(cfg))
+        valid_sources.insert(in);
+    for (const auto &[nk, ng] : nodes_) {
+        GENESYS_ASSERT(nk == ng.key, "node gene key mismatch");
+        GENESYS_ASSERT(nk >= 0, "node gene with input (negative) key");
+        valid_sources.insert(nk);
+        valid_dests.insert(nk);
+    }
+    for (int out : outputKeys(cfg)) {
+        GENESYS_ASSERT(nodes_.count(out),
+                       "output node " << out << " missing");
+    }
+    for (const auto &[ck, cg] : connections_) {
+        GENESYS_ASSERT(ck == cg.key, "connection gene key mismatch");
+        GENESYS_ASSERT(valid_sources.count(ck.first),
+                       "dangling connection source " << ck.first);
+        GENESYS_ASSERT(valid_dests.count(ck.second),
+                       "dangling connection dest " << ck.second);
+    }
+    if (cfg.feedForward) {
+        // The stored graph must be acyclic (checked over all
+        // connections, enabled or not, as neat-python maintains).
+        for (const auto &[ck, cg] : connections_) {
+            std::map<ConnKey, ConnectionGene> rest = connections_;
+            rest.erase(ck);
+            GENESYS_ASSERT(!createsCycle(rest, ck),
+                           "cycle through connection (" << ck.first << ","
+                                                        << ck.second << ")");
+        }
+    }
+}
+
+bool
+Genome::createsCycle(const std::map<ConnKey, ConnectionGene> &connections,
+                     ConnKey test)
+{
+    const auto [in, out] = test;
+    if (in == out)
+        return true;
+
+    // BFS from `out`; a path back to `in` means the new edge closes a
+    // cycle.
+    std::set<int> visited{out};
+    bool grew = true;
+    while (grew) {
+        grew = false;
+        for (const auto &[ck, cg] : connections) {
+            const auto [a, b] = ck;
+            if (visited.count(a) && !visited.count(b)) {
+                if (b == in)
+                    return true;
+                visited.insert(b);
+                grew = true;
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace genesys::neat

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * NEAT genome: a collection of node and connection genes uniquely
+ * describing one neural network in the population (Fig 3(c)), plus
+ * the four reproduction operations of Fig 3(d): crossover and the
+ * perturb / add-gene / delete-gene mutations.
+ */
+
+#ifndef GENESYS_NEAT_GENOME_HH
+#define GENESYS_NEAT_GENOME_HH
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hh"
+#include "neat/gene.hh"
+
+namespace genesys::neat
+{
+
+/**
+ * Issues fresh node ids. Shared across a population so node ids are
+ * globally unique within a run, which keeps crossover alignment
+ * meaningful (two genomes carrying node 7 inherited it from a common
+ * ancestor). neat-python implements the same thing as
+ * `genome_config.node_indexer`.
+ */
+class NodeIndexer
+{
+  public:
+    explicit NodeIndexer(int first_key = 0) : nextKey_(first_key) {}
+
+    /** Get a fresh, never-before-issued node key. */
+    int next() { return nextKey_++; }
+
+    /** Make sure future keys are strictly greater than `key`. */
+    void
+    bump(int key)
+    {
+        if (key >= nextKey_)
+            nextKey_ = key + 1;
+    }
+
+    int peek() const { return nextKey_; }
+
+  private:
+    int nextKey_;
+};
+
+/**
+ * Per-child operation counts, recorded during reproduction. These are
+ * the events Fig 5(a) plots and the units of work the EvE hardware
+ * model replays (one gene-op per PE per cycle).
+ */
+struct MutationCounts
+{
+    /** Homologous gene-pairs crossed over (per-attribute select). */
+    long crossoverOps = 0;
+    /** Disjoint/excess genes cloned from the fitter parent. */
+    long cloneOps = 0;
+    /** Genes that went through attribute perturbation. */
+    long perturbOps = 0;
+    /** Structural gene additions (node adds count the 2 new conns too). */
+    long addOps = 0;
+    /** Structural gene deletions (node deletes count pruned conns). */
+    long deleteOps = 0;
+
+    long
+    total() const
+    {
+        return crossoverOps + cloneOps + perturbOps + addOps + deleteOps;
+    }
+
+    MutationCounts &operator+=(const MutationCounts &o);
+};
+
+/**
+ * One individual: node genes (hidden + output neurons) and connection
+ * genes. Input "nodes" use negative keys -1..-numInputs and appear
+ * only as connection sources (neat-python convention).
+ */
+class Genome
+{
+  public:
+    Genome() = default;
+    explicit Genome(int key) : key_(key) {}
+
+    // --- identity / fitness ------------------------------------------------
+    int key() const { return key_; }
+    void setKey(int k) { key_ = k; }
+
+    bool hasFitness() const { return fitness_.has_value(); }
+    double fitness() const { return fitness_.value(); }
+    void setFitness(double f) { fitness_ = f; }
+    void clearFitness() { fitness_.reset(); }
+
+    // --- gene access -----------------------------------------------------
+    const std::map<int, NodeGene> &nodes() const { return nodes_; }
+    const std::map<ConnKey, ConnectionGene> &connections() const
+    {
+        return connections_;
+    }
+    std::map<int, NodeGene> &mutableNodes() { return nodes_; }
+    std::map<ConnKey, ConnectionGene> &mutableConnections()
+    {
+        return connections_;
+    }
+
+    size_t numNodeGenes() const { return nodes_.size(); }
+    size_t numConnectionGenes() const { return connections_.size(); }
+    size_t numGenes() const { return nodes_.size() + connections_.size(); }
+    size_t numEnabledConnections() const;
+
+    /**
+     * On-chip storage footprint: each gene is one 64-bit word in the
+     * Genome Buffer (Fig 6 encoding).
+     */
+    size_t memoryBytes() const { return numGenes() * 8; }
+
+    /** Input node keys for a config: -1 .. -numInputs. */
+    static std::vector<int> inputKeys(const NeatConfig &cfg);
+    /** Output node keys for a config: 0 .. numOutputs-1. */
+    static std::vector<int> outputKeys(const NeatConfig &cfg);
+
+    // --- construction -----------------------------------------------------
+    /**
+     * Create a generation-0 genome: output (+ optional hidden) node
+     * genes and the configured initial connectivity. The paper's
+     * experiments start FullDirect with weights drawn from the init
+     * distribution (Section III-B).
+     */
+    static Genome createNew(int key, const NeatConfig &cfg,
+                            NodeIndexer &indexer, XorWow &rng);
+
+    /**
+     * Sexual reproduction (Fig 3(d) "Crossover"): homologous genes do
+     * per-attribute uniform selection; disjoint/excess genes are
+     * inherited from the fitter parent. `parent1` must be the fitter
+     * parent (ties broken by the caller).
+     */
+    static Genome crossover(int child_key, const Genome &parent1,
+                            const Genome &parent2, XorWow &rng,
+                            MutationCounts *counts = nullptr);
+
+    // --- mutation -----------------------------------------------------------
+    /**
+     * Apply the configured structural and attribute mutations in
+     * place. Returns the operation counts for tracing.
+     */
+    MutationCounts mutate(const NeatConfig &cfg, NodeIndexer &indexer,
+                          XorWow &rng);
+
+    /**
+     * Split a random enabled connection with a new node (Fig 3(d)
+     * "Mutation: Add Gene" for nodes). Returns the new node key, or
+     * -1 if no connection was available.
+     */
+    int mutateAddNode(const NeatConfig &cfg, NodeIndexer &indexer,
+                      XorWow &rng);
+
+    /**
+     * Add a random new connection honoring the feed-forward
+     * constraint. Returns true if a connection was added.
+     */
+    bool mutateAddConnection(const NeatConfig &cfg, XorWow &rng);
+
+    /**
+     * Delete a random hidden node and its incident connections
+     * (Fig 3(d) "Mutation: Delete Gene"). Never deletes outputs.
+     * Returns the number of genes removed (node + pruned
+     * connections), 0 if no hidden node exists.
+     */
+    long mutateDeleteNode(const NeatConfig &cfg, XorWow &rng);
+
+    /** Delete a random connection gene. Returns 1 if one was removed. */
+    long mutateDeleteConnection(XorWow &rng);
+
+    // --- compatibility ---------------------------------------------------------
+    /**
+     * Genomic compatibility distance (Section II-D "Speciation"):
+     * normalized homologous attribute distance plus
+     * disjoint-gene count, over node and connection genes.
+     */
+    double distance(const Genome &other, const NeatConfig &cfg) const;
+
+    // --- invariants -----------------------------------------------------------
+    /**
+     * Check structural invariants: connection endpoints exist, no
+     * dangling references, no output-node inputs keys, acyclic when
+     * feed-forward. Throws (panics) on violation.
+     */
+    void validate(const NeatConfig &cfg) const;
+
+    /**
+     * Would adding connection `test` create a cycle in the directed
+     * graph formed by `connections`? Used to maintain the
+     * feed-forward invariant (neat-python's creates_cycle).
+     */
+    static bool createsCycle(
+        const std::map<ConnKey, ConnectionGene> &connections, ConnKey test);
+
+    /** Node deletions applied to this genome since its creation. */
+    int nodeDeletions() const { return nodeDeletions_; }
+
+  private:
+    /**
+     * Node deletion guarded by the EvE liveness threshold
+     * (cfg.maxNodeDeletionsPerChild). Returns genes removed.
+     */
+    long deleteNodeIfAllowed(const NeatConfig &cfg, XorWow &rng);
+
+    int key_ = -1;
+    std::map<int, NodeGene> nodes_;
+    std::map<ConnKey, ConnectionGene> connections_;
+    std::optional<double> fitness_;
+    /** Counter backing the EvE Delete Gene Engine liveness threshold. */
+    int nodeDeletions_ = 0;
+};
+
+} // namespace genesys::neat
+
+#endif // GENESYS_NEAT_GENOME_HH

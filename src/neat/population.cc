@@ -1,0 +1,116 @@
+#include "neat/population.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace genesys::neat
+{
+
+Population::Population(const NeatConfig &cfg, uint64_t seed)
+    : cfg_(cfg), reproduction_(cfg_), speciesSet_(cfg_), rng_(seed)
+{
+    population_ = reproduction_.createNewPopulation(rng_);
+    speciesSet_.speciate(population_, generation_);
+}
+
+GenerationStats
+Population::collectStats(const EvolutionTrace *trace) const
+{
+    GenerationStats s;
+    s.generation = generation_;
+
+    double best = -std::numeric_limits<double>::infinity();
+    double sum = 0.0;
+    for (const auto &[gk, g] : population_) {
+        GENESYS_ASSERT(g.hasFitness(), "genome " << gk << " unevaluated");
+        if (g.fitness() > best) {
+            best = g.fitness();
+            s.bestGenomeKey = gk;
+        }
+        sum += g.fitness();
+        s.totalNodeGenes += static_cast<long>(g.numNodeGenes());
+        s.totalConnectionGenes += static_cast<long>(g.numConnectionGenes());
+        s.memoryBytes += static_cast<long>(g.memoryBytes());
+    }
+    s.totalGenes = s.totalNodeGenes + s.totalConnectionGenes;
+    s.bestFitness = best;
+    s.meanFitness = sum / static_cast<double>(population_.size());
+    s.numSpecies = static_cast<int>(speciesSet_.count());
+
+    if (trace) {
+        s.evolutionOps = trace->totalOps();
+        s.opBreakdown = trace->opTotals();
+        s.maxParentReuse = trace->maxParentReuse();
+    }
+    return s;
+}
+
+bool
+Population::step(const FitnessFn &fitness)
+{
+    // Evaluate every genome (on the SoC: steps 1-6 of the
+    // walkthrough, leveraging population-level parallelism).
+    for (auto &[gk, g] : population_) {
+        if (!g.hasFitness())
+            g.setFitness(fitness(g));
+    }
+
+    // Record stats for this generation; the trace that *created* it
+    // was recorded when reproduce() ran (empty for generation 0).
+    const EvolutionTrace *trace =
+        traces_.empty() ? nullptr : &traces_.back();
+    history_.push_back(collectStats(trace));
+    const GenerationStats &stats = history_.back();
+
+    const Genome &gen_best = population_.at(stats.bestGenomeKey);
+    if (!hasBest_ || gen_best.fitness() > bestGenome_.fitness()) {
+        bestGenome_ = gen_best;
+        hasBest_ = true;
+    }
+
+    if (stats.bestFitness >= cfg_.fitnessThreshold)
+        return true;
+
+    // Breed generation n+1 (steps 7-10: Gene Selector + EvE).
+    EvolutionTrace trace_out;
+    auto next = reproduction_.reproduce(speciesSet_, population_,
+                                        generation_, rng_, trace_out);
+    if (next.empty()) {
+        if (!cfg_.resetOnExtinction)
+            fatal("complete extinction in generation " +
+                  std::to_string(generation_));
+        warn("complete extinction; restarting population");
+        next = reproduction_.createNewPopulation(rng_);
+        trace_out.children.clear();
+    }
+    population_ = std::move(next);
+    traces_.push_back(std::move(trace_out));
+    if (traces_.size() > traceWindow_)
+        traces_.erase(traces_.begin());
+
+    ++generation_;
+    speciesSet_.speciate(population_, generation_);
+    return false;
+}
+
+RunResult
+Population::run(const FitnessFn &fitness, int max_generations)
+{
+    RunResult result;
+    for (int i = 0; i < max_generations; ++i) {
+        if (step(fitness)) {
+            result.solved = true;
+            break;
+        }
+    }
+    result.generations = generation_ + (result.solved ? 1 : 0);
+    if (hasBest_) {
+        result.bestFitness = bestGenome_.fitness();
+        result.bestGenome = bestGenome_;
+    }
+    return result;
+}
+
+} // namespace genesys::neat

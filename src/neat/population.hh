@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The NEAT population loop (Fig 3(b)): evaluate fitness, check the
+ * target, reproduce, speciate — while recording the per-generation
+ * statistics and evolution traces that drive every characterization
+ * figure (Figs 4, 5, 11(a)) and the hardware model.
+ */
+
+#ifndef GENESYS_NEAT_POPULATION_HH
+#define GENESYS_NEAT_POPULATION_HH
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "neat/reproduction.hh"
+
+namespace genesys::neat
+{
+
+/** Aggregate statistics for one evaluated generation. */
+struct GenerationStats
+{
+    int generation = 0;
+    double bestFitness = 0.0;
+    double meanFitness = 0.0;
+    int bestGenomeKey = -1;
+
+    /** Totals across the whole population (Fig 4(b), Fig 11(a)). */
+    long totalNodeGenes = 0;
+    long totalConnectionGenes = 0;
+    long totalGenes = 0;
+    /** Genome Buffer bytes needed for the generation (Fig 5(b)). */
+    long memoryBytes = 0;
+
+    /** Reproduction work creating this generation (Fig 5(a)). */
+    long evolutionOps = 0;
+    MutationCounts opBreakdown;
+    /** Reuse of the most-used parent (Fig 4(c)). */
+    int maxParentReuse = 0;
+
+    int numSpecies = 0;
+};
+
+/** Outcome of Population::run(). */
+struct RunResult
+{
+    bool solved = false;
+    int generations = 0;
+    double bestFitness = 0.0;
+    /** Best genome seen across the whole run. */
+    Genome bestGenome;
+};
+
+/**
+ * A NEAT population. Fitness evaluation is supplied by the caller as
+ * a callback (in GeneSys, that callback is ADAM + the environment
+ * instances; see core/genesys.hh).
+ */
+class Population
+{
+  public:
+    /** Per-genome fitness function. */
+    using FitnessFn = std::function<double(const Genome &)>;
+
+    Population(const NeatConfig &cfg, uint64_t seed);
+
+    /**
+     * Evaluate the current generation, record stats, and — unless the
+     * fitness threshold is reached — breed the next generation.
+     * Returns true if the threshold was reached.
+     */
+    bool step(const FitnessFn &fitness);
+
+    /** Run up to `max_generations` steps or until solved. */
+    RunResult run(const FitnessFn &fitness, int max_generations);
+
+    // --- inspection -----------------------------------------------------
+    const std::map<int, Genome> &genomes() const { return population_; }
+    const SpeciesSet &species() const { return speciesSet_; }
+    int generation() const { return generation_; }
+
+    /** Stats of every evaluated generation so far. */
+    const std::vector<GenerationStats> &history() const { return history_; }
+
+    /** Evolution traces (one per reproduction event). */
+    const std::vector<EvolutionTrace> &traces() const { return traces_; }
+
+    /** Best genome observed so far (valid after the first step). */
+    const Genome &bestGenome() const { return bestGenome_; }
+    bool hasBest() const { return hasBest_; }
+
+    /** Keep only the last `n` traces (bounds memory on long runs). */
+    void setTraceWindow(size_t n) { traceWindow_ = n; }
+
+    XorWow &rng() { return rng_; }
+
+  private:
+    GenerationStats
+    collectStats(const EvolutionTrace *trace) const;
+
+    NeatConfig cfg_;
+    Reproduction reproduction_;
+    SpeciesSet speciesSet_;
+    XorWow rng_;
+
+    std::map<int, Genome> population_;
+    int generation_ = 0;
+
+    std::vector<GenerationStats> history_;
+    std::vector<EvolutionTrace> traces_;
+    size_t traceWindow_ = SIZE_MAX;
+
+    Genome bestGenome_;
+    bool hasBest_ = false;
+};
+
+} // namespace genesys::neat
+
+#endif // GENESYS_NEAT_POPULATION_HH

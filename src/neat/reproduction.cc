@@ -1,0 +1,246 @@
+#include "neat/reproduction.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace genesys::neat
+{
+
+namespace
+{
+
+/** Size of the union of two genomes' gene keys (aligned stream). */
+size_t
+alignedStreamLength(const Genome &a, const Genome &b)
+{
+    size_t n = a.numNodeGenes() + a.numConnectionGenes();
+    for (const auto &[nk, ng] : b.nodes()) {
+        if (!a.nodes().count(nk))
+            ++n;
+    }
+    for (const auto &[ck, cg] : b.connections()) {
+        if (!a.connections().count(ck))
+            ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+Reproduction::Reproduction(const NeatConfig &cfg)
+    : cfg_(cfg), stagnation_(cfg),
+      nodeIndexer_(cfg.numOutputs)
+{
+    cfg.validate();
+}
+
+std::map<int, Genome>
+Reproduction::createNewPopulation(XorWow &rng)
+{
+    std::map<int, Genome> population;
+    for (int i = 0; i < cfg_.populationSize; ++i) {
+        const int key = nextGenomeKey_++;
+        population.emplace(
+            key, Genome::createNew(key, cfg_, nodeIndexer_, rng));
+    }
+    return population;
+}
+
+std::vector<int>
+Reproduction::computeSpawn(const std::vector<double> &adjusted_fitness,
+                           const std::vector<int> &previous_sizes,
+                           int pop_size, int min_species_size)
+{
+    GENESYS_ASSERT(adjusted_fitness.size() == previous_sizes.size(),
+                   "spawn input size mismatch");
+    double af_sum = 0.0;
+    for (double af : adjusted_fitness)
+        af_sum += af;
+
+    std::vector<double> spawn;
+    spawn.reserve(adjusted_fitness.size());
+    for (size_t i = 0; i < adjusted_fitness.size(); ++i) {
+        const double ps = previous_sizes[i];
+        double s;
+        if (af_sum > 0) {
+            s = std::max<double>(min_species_size,
+                                 adjusted_fitness[i] / af_sum * pop_size);
+        } else {
+            s = min_species_size;
+        }
+        const double d = (s - ps) * 0.5;
+        const double c = std::round(d);
+        double amount = ps;
+        if (std::fabs(c) > 0.0)
+            amount += c;
+        else if (d > 0.0)
+            amount += 1.0;
+        else if (d < 0.0)
+            amount -= 1.0;
+        spawn.push_back(amount);
+    }
+
+    double total = 0.0;
+    for (double s : spawn)
+        total += s;
+    const double norm = total > 0 ? pop_size / total : 1.0;
+
+    std::vector<int> result;
+    result.reserve(spawn.size());
+    for (double s : spawn) {
+        result.push_back(std::max(
+            min_species_size, static_cast<int>(std::lround(s * norm))));
+    }
+    return result;
+}
+
+std::map<int, Genome>
+Reproduction::reproduce(SpeciesSet &species,
+                        const std::map<int, Genome> &population,
+                        int generation, XorWow &rng, EvolutionTrace &trace)
+{
+    trace.generation = generation;
+    trace.children.clear();
+
+    // Stagnation pass: drop species that have not improved.
+    std::vector<int> remaining;
+    std::vector<double> all_fitnesses;
+    for (const auto &[sk, stagnant] :
+         stagnation_.update(species, population, generation)) {
+        if (stagnant) {
+            species.remove(sk);
+        } else {
+            remaining.push_back(sk);
+            for (double f :
+                 species.species().at(sk).memberFitnesses(population)) {
+                all_fitnesses.push_back(f);
+            }
+        }
+    }
+    if (remaining.empty())
+        return {}; // complete extinction
+
+    // Fitness sharing: each species' mean fitness, normalized into
+    // [0,1] across the population, is its reproductive share
+    // (Section II-D "Fitness sharing").
+    const double min_f =
+        *std::min_element(all_fitnesses.begin(), all_fitnesses.end());
+    const double max_f =
+        *std::max_element(all_fitnesses.begin(), all_fitnesses.end());
+    const double fitness_range = std::max(1.0, max_f - min_f);
+
+    std::vector<double> adjusted;
+    std::vector<int> prev_sizes;
+    for (int sk : remaining) {
+        Species &sp = species.mutableSpecies().at(sk);
+        const auto fits = sp.memberFitnesses(population);
+        double msf = 0.0;
+        for (double f : fits)
+            msf += f;
+        msf /= static_cast<double>(fits.size());
+        sp.adjustedFitness = (msf - min_f) / fitness_range;
+        adjusted.push_back(sp.adjustedFitness);
+        prev_sizes.push_back(static_cast<int>(sp.memberKeys.size()));
+    }
+
+    const int min_species_size = std::max(cfg_.minSpeciesSize, cfg_.elitism);
+    const auto spawn_amounts = computeSpawn(
+        adjusted, prev_sizes, cfg_.populationSize, min_species_size);
+
+    std::map<int, Genome> new_population;
+
+    for (size_t si = 0; si < remaining.size(); ++si) {
+        const Species &sp = species.species().at(remaining[si]);
+        int spawn = std::max(spawn_amounts[si], cfg_.elitism);
+
+        // Rank members by fitness (descending; key as tiebreak for
+        // determinism).
+        std::vector<std::pair<double, int>> ranked;
+        for (int mk : sp.memberKeys)
+            ranked.emplace_back(population.at(mk).fitness(), mk);
+        std::sort(ranked.begin(), ranked.end(), [](const auto &a,
+                                                   const auto &b) {
+            if (a.first != b.first)
+                return a.first > b.first;
+            return a.second < b.second;
+        });
+
+        // Elitism: the species' best genomes survive unchanged. On
+        // chip this is a genome that is simply left in the Genome
+        // Buffer; no EvE work.
+        for (int i = 0; i < cfg_.elitism &&
+                        i < static_cast<int>(ranked.size()) && spawn > 0;
+             ++i, --spawn) {
+            const int gid = ranked[static_cast<size_t>(i)].second;
+            Genome elite = population.at(gid);
+            elite.clearFitness();
+            new_population.emplace(gid, std::move(elite));
+
+            ChildRecord rec;
+            rec.childKey = gid;
+            rec.parent1Key = gid;
+            rec.parent2Key = gid;
+            rec.isElite = true;
+            const Genome &src = population.at(gid);
+            rec.childNodeGenes = src.numNodeGenes();
+            rec.childConnGenes = src.numConnectionGenes();
+            trace.children.push_back(rec);
+        }
+        if (spawn <= 0)
+            continue;
+
+        // Survival threshold: only the top fraction may be parents.
+        size_t cutoff = static_cast<size_t>(std::ceil(
+            cfg_.survivalThreshold * static_cast<double>(ranked.size())));
+        cutoff = std::max<size_t>(cutoff, 2);
+        cutoff = std::min(cutoff, ranked.size());
+
+        // Rank-biased survivor pick (see NeatConfig::parentSelectionBias).
+        auto pick_parent = [&]() -> size_t {
+            const double u = rng.uniform();
+            const double biased =
+                std::pow(u, std::max(1.0, cfg_.parentSelectionBias));
+            auto idx = static_cast<size_t>(
+                biased * static_cast<double>(cutoff));
+            return std::min(idx, cutoff - 1);
+        };
+
+        while (spawn-- > 0) {
+            const size_t i1 = pick_parent();
+            const size_t i2 = pick_parent();
+            int p1_key = ranked[i1].second;
+            int p2_key = ranked[i2].second;
+            // Fitter parent first (parent 1 contributes disjoint
+            // genes).
+            if (population.at(p2_key).fitness() >
+                population.at(p1_key).fitness()) {
+                std::swap(p1_key, p2_key);
+            }
+            const Genome &p1 = population.at(p1_key);
+            const Genome &p2 = population.at(p2_key);
+
+            const int child_key = nextGenomeKey_++;
+            ChildRecord rec;
+            rec.childKey = child_key;
+            rec.parent1Key = p1_key;
+            rec.parent2Key = p2_key;
+            rec.parent1Genes = p1.numGenes();
+            rec.parent2Genes = p2.numGenes();
+            rec.alignedStreamLen = alignedStreamLength(p1, p2);
+
+            Genome child =
+                Genome::crossover(child_key, p1, p2, rng, &rec.ops);
+            rec.ops += child.mutate(cfg_, nodeIndexer_, rng);
+
+            rec.childNodeGenes = child.numNodeGenes();
+            rec.childConnGenes = child.numConnectionGenes();
+            trace.children.push_back(rec);
+            new_population.emplace(child_key, std::move(child));
+        }
+    }
+    return new_population;
+}
+
+} // namespace genesys::neat

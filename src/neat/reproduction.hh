@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduction: selection (fitness sharing + survival threshold),
+ * elitism, and child creation via crossover + mutation. In GeneSys
+ * this is the work split between the Gene Selector (a CPU thread,
+ * step 7 of the walkthrough) and the EvE PE array (steps 8-10); the
+ * EvolutionTrace emitted here is what the hardware model replays.
+ */
+
+#ifndef GENESYS_NEAT_REPRODUCTION_HH
+#define GENESYS_NEAT_REPRODUCTION_HH
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "neat/species.hh"
+#include "neat/stagnation.hh"
+#include "neat/trace.hh"
+
+namespace genesys::neat
+{
+
+/** NEAT reproduction engine (neat-python DefaultReproduction). */
+class Reproduction
+{
+  public:
+    explicit Reproduction(const NeatConfig &cfg);
+
+    /** Fresh generation-0 population of cfg.populationSize genomes. */
+    std::map<int, Genome> createNewPopulation(XorWow &rng);
+
+    /**
+     * Produce the next generation from the current one. Removes
+     * stagnant species from `species` as a side effect. Returns the
+     * new population (empty on complete extinction) and fills
+     * `trace` with the reproduction record.
+     */
+    std::map<int, Genome>
+    reproduce(SpeciesSet &species, const std::map<int, Genome> &population,
+              int generation, XorWow &rng, EvolutionTrace &trace);
+
+    /**
+     * Spawn-count apportioning (neat-python compute_spawn): smooth
+     * each species' size toward its adjusted-fitness share of the
+     * population.
+     */
+    static std::vector<int>
+    computeSpawn(const std::vector<double> &adjusted_fitness,
+                 const std::vector<int> &previous_sizes, int pop_size,
+                 int min_species_size);
+
+    NodeIndexer &nodeIndexer() { return nodeIndexer_; }
+
+    /** Total genomes created so far (next genome key). */
+    int genomesCreated() const { return nextGenomeKey_; }
+
+  private:
+    int nextGenomeKey_ = 0;
+
+    const NeatConfig &cfg_;
+    Stagnation stagnation_;
+    NodeIndexer nodeIndexer_;
+};
+
+} // namespace genesys::neat
+
+#endif // GENESYS_NEAT_REPRODUCTION_HH

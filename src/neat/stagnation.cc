@@ -1,0 +1,74 @@
+#include "neat/stagnation.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace genesys::neat
+{
+
+double
+Stagnation::speciesFitness(const std::vector<double> &member_fitnesses) const
+{
+    GENESYS_ASSERT(!member_fitnesses.empty(), "species with no members");
+    switch (cfg_.speciesFitnessFunc) {
+      case SpeciesFitnessFunc::Max:
+        return *std::max_element(member_fitnesses.begin(),
+                                 member_fitnesses.end());
+      case SpeciesFitnessFunc::Mean: {
+        double s = 0.0;
+        for (double f : member_fitnesses)
+            s += f;
+        return s / static_cast<double>(member_fitnesses.size());
+      }
+      default:
+        panic("unknown species fitness function");
+    }
+}
+
+std::vector<std::pair<int, bool>>
+Stagnation::update(SpeciesSet &species,
+                   const std::map<int, Genome> &population,
+                   int generation) const
+{
+    std::vector<std::pair<int, double>> speciesData; // key, fitness
+    for (auto &[sk, sp] : species.mutableSpecies()) {
+        const double prev_best =
+            sp.fitnessHistory.empty()
+                ? -std::numeric_limits<double>::infinity()
+                : *std::max_element(sp.fitnessHistory.begin(),
+                                    sp.fitnessHistory.end());
+        const double f = speciesFitness(sp.memberFitnesses(population));
+        sp.fitness = f;
+        sp.fitnessHistory.push_back(f);
+        sp.adjustedFitness = 0.0;
+        if (f > prev_best)
+            sp.lastImprovedGeneration = generation;
+        speciesData.emplace_back(sk, f);
+    }
+
+    // Ascending fitness so the best species are considered for
+    // protection last.
+    std::sort(speciesData.begin(), speciesData.end(),
+              [](const auto &a, const auto &b) { return a.second < b.second; });
+
+    std::vector<std::pair<int, bool>> result;
+    const long num_species = static_cast<long>(speciesData.size());
+    for (long i = 0; i < num_species; ++i) {
+        const auto &[sk, f] = speciesData[static_cast<size_t>(i)];
+        const Species &sp = species.species().at(sk);
+        const long remaining = num_species - i;
+        bool stagnant = false;
+        // The top `speciesElitism` species (by fitness) are never
+        // marked stagnant.
+        if (remaining > cfg_.speciesElitism) {
+            stagnant = (generation - sp.lastImprovedGeneration) >
+                       cfg_.maxStagnation;
+        }
+        result.emplace_back(sk, stagnant);
+    }
+    return result;
+}
+
+} // namespace genesys::neat

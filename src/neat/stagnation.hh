@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Species stagnation tracking: species whose fitness has not improved
+ * for cfg.maxStagnation generations are removed from reproduction
+ * (with the top cfg.speciesElitism species always protected).
+ */
+
+#ifndef GENESYS_NEAT_STAGNATION_HH
+#define GENESYS_NEAT_STAGNATION_HH
+
+#include <utility>
+#include <vector>
+
+#include "neat/species.hh"
+
+namespace genesys::neat
+{
+
+/** Stagnation policy over a SpeciesSet. */
+class Stagnation
+{
+  public:
+    explicit Stagnation(const NeatConfig &cfg) : cfg_(cfg) {}
+
+    /**
+     * Update species fitness / history and flag stagnant species.
+     * Returns (species key, is_stagnant) pairs sorted by ascending
+     * species fitness, matching neat-python's DefaultStagnation.
+     */
+    std::vector<std::pair<int, bool>>
+    update(SpeciesSet &species, const std::map<int, Genome> &population,
+           int generation) const;
+
+  private:
+    double speciesFitness(const std::vector<double> &member_fitnesses) const;
+
+    const NeatConfig &cfg_;
+};
+
+} // namespace genesys::neat
+
+#endif // GENESYS_NEAT_STAGNATION_HH

@@ -1,0 +1,77 @@
+#include "neat/trace.hh"
+
+#include <algorithm>
+
+namespace genesys::neat
+{
+
+long
+EvolutionTrace::totalOps() const
+{
+    long total = 0;
+    for (const auto &c : children)
+        total += c.ops.total();
+    return total;
+}
+
+MutationCounts
+EvolutionTrace::opTotals() const
+{
+    MutationCounts m;
+    for (const auto &c : children)
+        m += c.ops;
+    return m;
+}
+
+std::map<int, int>
+EvolutionTrace::parentUseCounts() const
+{
+    std::map<int, int> counts;
+    for (const auto &c : children) {
+        if (c.isElite)
+            continue;
+        ++counts[c.parent1Key];
+        if (c.parent2Key != c.parent1Key)
+            ++counts[c.parent2Key];
+    }
+    return counts;
+}
+
+int
+EvolutionTrace::maxParentReuse() const
+{
+    int best = 0;
+    for (const auto &[parent, n] : parentUseCounts())
+        best = std::max(best, n);
+    return best;
+}
+
+int
+EvolutionTrace::parentReuse(int parent_key) const
+{
+    const auto counts = parentUseCounts();
+    auto it = counts.find(parent_key);
+    return it == counts.end() ? 0 : it->second;
+}
+
+long
+EvolutionTrace::totalParentGenesStreamed() const
+{
+    long total = 0;
+    for (const auto &c : children) {
+        if (!c.isElite)
+            total += static_cast<long>(c.parent1Genes + c.parent2Genes);
+    }
+    return total;
+}
+
+long
+EvolutionTrace::totalChildGenes() const
+{
+    long total = 0;
+    for (const auto &c : children)
+        total += static_cast<long>(c.childGenes());
+    return total;
+}
+
+} // namespace genesys::neat

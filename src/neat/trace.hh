@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Evolution trace: the per-generation record of reproduction work.
+ *
+ * The paper evaluates EvE by replaying exactly such traces ("Each line
+ * on the trace captures the generation, the child gene and genome id,
+ * the type of operation ... These traces serve as proxy for our
+ * workloads", Section VI-A). The same records also quantify gene-level
+ * parallelism (Fig 5(a)) and genome-level reuse (Fig 4(c)).
+ */
+
+#ifndef GENESYS_NEAT_TRACE_HH
+#define GENESYS_NEAT_TRACE_HH
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "neat/genome.hh"
+
+namespace genesys::neat
+{
+
+/** Reproduction record for a single child genome. */
+struct ChildRecord
+{
+    int childKey = -1;
+    /** Fitter parent (== childKey for elites carried over unchanged). */
+    int parent1Key = -1;
+    int parent2Key = -1;
+    /** Elites bypass EvE: the genome is copied in SRAM as-is. */
+    bool isElite = false;
+
+    /** Gene-ops performed to produce this child. */
+    MutationCounts ops;
+
+    /** Genes streamed from each parent (node + connection genes). */
+    size_t parent1Genes = 0;
+    size_t parent2Genes = 0;
+    /**
+     * Length of the key-aligned stream the Gene Split unit feeds the
+     * PE: the union of both parents' gene keys (plus the 2-cycle
+     * header, accounted by the hardware model).
+     */
+    size_t alignedStreamLen = 0;
+
+    /** Resulting child size (written back by Gene Merge). */
+    size_t childNodeGenes = 0;
+    size_t childConnGenes = 0;
+
+    size_t childGenes() const { return childNodeGenes + childConnGenes; }
+};
+
+/** All reproduction work for one generation. */
+struct EvolutionTrace
+{
+    int generation = 0;
+    std::vector<ChildRecord> children;
+
+    /** Total crossover + mutation gene-ops (Fig 5(a) x-axis). */
+    long totalOps() const;
+
+    /** Ops broken down by class. */
+    MutationCounts opTotals() const;
+
+    /**
+     * How many children each parent genome contributed to (a child
+     * with both parents equal counts once).
+     */
+    std::map<int, int> parentUseCounts() const;
+
+    /** Reuse count of the most-reused parent (Fig 4(c) series). */
+    int maxParentReuse() const;
+
+    /** Reuse count of a specific parent genome. */
+    int parentReuse(int parent_key) const;
+
+    /** Total genes streamed out of SRAM without any multicast reuse. */
+    long totalParentGenesStreamed() const;
+
+    /** Total child genes written back to SRAM. */
+    long totalChildGenes() const;
+};
+
+} // namespace genesys::neat
+
+#endif // GENESYS_NEAT_TRACE_HH

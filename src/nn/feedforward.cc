@@ -1,0 +1,199 @@
+#include "nn/feedforward.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "neat/activations.hh"
+#include "neat/aggregations.hh"
+
+namespace genesys::nn
+{
+
+std::set<int>
+requiredForOutput(const Genome &genome, const NeatConfig &cfg)
+{
+    // Walk backwards from the outputs through enabled connections.
+    std::set<int> required;
+    for (int out : Genome::outputKeys(cfg))
+        required.insert(out);
+
+    std::set<int> frontier = required;
+    while (!frontier.empty()) {
+        std::set<int> next;
+        for (const auto &[ck, cg] : genome.connections()) {
+            if (!cg.enabled)
+                continue;
+            const auto [src, dst] = ck;
+            if (frontier.count(dst) && !required.count(src) && src >= 0) {
+                required.insert(src);
+                next.insert(src);
+            }
+        }
+        frontier = std::move(next);
+    }
+    return required;
+}
+
+std::vector<std::vector<int>>
+feedForwardLayers(const Genome &genome, const NeatConfig &cfg)
+{
+    const std::set<int> required = requiredForOutput(genome, cfg);
+
+    std::set<int> have;
+    for (int in : Genome::inputKeys(cfg))
+        have.insert(in);
+
+    std::vector<std::vector<int>> layers;
+    while (true) {
+        // Candidates: nodes fed by something already available but
+        // not yet themselves available.
+        std::set<int> candidates;
+        for (const auto &[ck, cg] : genome.connections()) {
+            if (!cg.enabled)
+                continue;
+            if (have.count(ck.first) && !have.count(ck.second))
+                candidates.insert(ck.second);
+        }
+        std::vector<int> layer;
+        for (int n : candidates) {
+            if (!required.count(n))
+                continue;
+            bool ready = true;
+            for (const auto &[ck, cg] : genome.connections()) {
+                if (cg.enabled && ck.second == n && !have.count(ck.first)) {
+                    ready = false;
+                    break;
+                }
+            }
+            if (ready)
+                layer.push_back(n);
+        }
+        if (layer.empty())
+            break;
+        std::sort(layer.begin(), layer.end());
+        for (int n : layer)
+            have.insert(n);
+        layers.push_back(std::move(layer));
+    }
+    return layers;
+}
+
+FeedForwardNetwork
+FeedForwardNetwork::create(const Genome &genome, const NeatConfig &cfg)
+{
+    FeedForwardNetwork net;
+    net.numInputs_ = cfg.numInputs;
+    net.numOutputs_ = cfg.numOutputs;
+    net.layers_ = feedForwardLayers(genome, cfg);
+
+    // Dense slot assignment: inputs first, then nodes in layer order.
+    std::map<int, int> slot_of;
+    for (int i = 0; i < cfg.numInputs; ++i)
+        slot_of[-i - 1] = i;
+    int next_slot = cfg.numInputs;
+    for (const auto &layer : net.layers_) {
+        for (int nk : layer)
+            slot_of[nk] = next_slot++;
+    }
+    net.numSlots_ = next_slot;
+
+    // Inbound-edge index: one pass over the connection genes instead
+    // of one per node.
+    std::map<int, std::vector<std::pair<int, double>>> inbound;
+    for (const auto &[ck, cg] : genome.connections()) {
+        if (cg.enabled)
+            inbound[ck.second].emplace_back(ck.first, cg.weight);
+    }
+
+    for (const auto &layer : net.layers_) {
+        for (int nk : layer) {
+            auto it = genome.nodes().find(nk);
+            GENESYS_ASSERT(it != genome.nodes().end(),
+                           "layered node " << nk << " missing gene");
+            NodeEval ev;
+            ev.key = nk;
+            ev.activation = it->second.activation;
+            ev.aggregation = it->second.aggregation;
+            ev.bias = it->second.bias;
+            ev.response = it->second.response;
+            ev.slot = slot_of.at(nk);
+            auto in_it = inbound.find(nk);
+            if (in_it != inbound.end()) {
+                for (const auto &[src, w] : in_it->second) {
+                    ev.links.emplace_back(src, w);
+                    auto s = slot_of.find(src);
+                    // Sources outside the required set evaluate to 0;
+                    // give them a sentinel slot.
+                    ev.slotLinks.emplace_back(
+                        s == slot_of.end() ? -1 : s->second, w);
+                }
+            }
+            net.evals_.push_back(std::move(ev));
+        }
+    }
+
+    net.outputSlots_.assign(static_cast<size_t>(cfg.numOutputs), -1);
+    for (int o = 0; o < cfg.numOutputs; ++o) {
+        auto s = slot_of.find(o);
+        if (s != slot_of.end())
+            net.outputSlots_[static_cast<size_t>(o)] = s->second;
+    }
+    return net;
+}
+
+std::vector<double>
+FeedForwardNetwork::activate(const std::vector<double> &inputs) const
+{
+    GENESYS_ASSERT(inputs.size() == static_cast<size_t>(numInputs_),
+                   "expected " << numInputs_ << " inputs, got "
+                               << inputs.size());
+
+    std::vector<double> values(static_cast<size_t>(numSlots_), 0.0);
+    for (int i = 0; i < numInputs_; ++i)
+        values[static_cast<size_t>(i)] = inputs[static_cast<size_t>(i)];
+
+    std::vector<double> weighted;
+    for (const auto &ev : evals_) {
+        // Fast path: plain weighted sum with the default sigmoid-family
+        // activations dominates; the generic path handles the rest.
+        if (ev.aggregation == neat::Aggregation::Sum) {
+            double acc = 0.0;
+            for (const auto &[slot, w] : ev.slotLinks) {
+                if (slot >= 0)
+                    acc += values[static_cast<size_t>(slot)] * w;
+            }
+            values[static_cast<size_t>(ev.slot)] = neat::activate(
+                ev.activation, ev.bias + ev.response * acc);
+            continue;
+        }
+        weighted.clear();
+        weighted.reserve(ev.slotLinks.size());
+        for (const auto &[slot, w] : ev.slotLinks) {
+            weighted.push_back(
+                (slot >= 0 ? values[static_cast<size_t>(slot)] : 0.0) * w);
+        }
+        const double agg = neat::aggregate(ev.aggregation, weighted);
+        values[static_cast<size_t>(ev.slot)] =
+            neat::activate(ev.activation, ev.bias + ev.response * agg);
+    }
+
+    std::vector<double> outputs;
+    outputs.reserve(static_cast<size_t>(numOutputs_));
+    for (int o = 0; o < numOutputs_; ++o) {
+        const int slot = outputSlots_[static_cast<size_t>(o)];
+        outputs.push_back(
+            slot >= 0 ? values[static_cast<size_t>(slot)] : 0.0);
+    }
+    return outputs;
+}
+
+long
+FeedForwardNetwork::macsPerInference() const
+{
+    long macs = 0;
+    for (const auto &ev : evals_)
+        macs += static_cast<long>(ev.links.size());
+    return macs;
+}
+
+} // namespace genesys::nn

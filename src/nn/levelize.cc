@@ -1,0 +1,72 @@
+#include "nn/levelize.hh"
+
+#include <set>
+
+namespace genesys::nn
+{
+
+long
+InferenceSchedule::totalMacs() const
+{
+    long macs = 0;
+    for (const auto &l : layers)
+        macs += l.weights;
+    return macs;
+}
+
+long
+InferenceSchedule::totalNodes() const
+{
+    long nodes = 0;
+    for (const auto &l : layers)
+        nodes += l.numNodes;
+    return nodes;
+}
+
+long
+InferenceSchedule::denseCells() const
+{
+    long cells = 0;
+    for (const auto &l : layers)
+        cells += static_cast<long>(l.numNodes) * l.vectorLen;
+    return cells;
+}
+
+double
+InferenceSchedule::meanDensity() const
+{
+    const long cells = denseCells();
+    if (cells == 0)
+        return 0.0;
+    return static_cast<double>(totalMacs()) / static_cast<double>(cells);
+}
+
+InferenceSchedule
+levelize(const Genome &genome, const NeatConfig &cfg)
+{
+    InferenceSchedule sched;
+    const auto layers = feedForwardLayers(genome, cfg);
+
+    for (const auto &layer : layers) {
+        PackedLayer pl;
+        pl.numNodes = static_cast<int>(layer.size());
+
+        // The packed input vector holds every distinct source the
+        // layer's nodes read; the CPU gathers those node values
+        // ("picking the ready node values to create input vectors",
+        // Section IV-D).
+        std::set<int> sources;
+        std::set<int> members(layer.begin(), layer.end());
+        for (const auto &[ck, cg] : genome.connections()) {
+            if (!cg.enabled || !members.count(ck.second))
+                continue;
+            sources.insert(ck.first);
+            ++pl.weights;
+        }
+        pl.vectorLen = static_cast<int>(sources.size());
+        sched.layers.push_back(pl);
+    }
+    return sched;
+}
+
+} // namespace genesys::nn

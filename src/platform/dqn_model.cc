@@ -1,0 +1,44 @@
+#include "platform/dqn_model.hh"
+
+#include "common/logging.hh"
+
+namespace genesys::platform
+{
+
+DqnCosts
+dqnCosts(const DqnConfig &cfg)
+{
+    GENESYS_ASSERT(cfg.layers.size() >= 2, "DQN needs >= 2 layers");
+    DqnCosts c;
+
+    long params = 0;
+    long activations = cfg.layers.front();
+    for (size_t i = 0; i + 1 < cfg.layers.size(); ++i) {
+        const long in = cfg.layers[i];
+        const long out = cfg.layers[i + 1];
+        params += in * out + out; // weights + biases
+        activations += out;
+        c.forwardMacs += in * out;
+    }
+
+    // Backprop computes a gradient for every weight/bias that feeds a
+    // *hidden or output* unit reachable from the loss; with the TD
+    // loss only the taken action's head backpropagates through the
+    // final layer, so the last layer contributes out_grad columns
+    // rather than the full fan-out.
+    const long last_in = cfg.layers[cfg.layers.size() - 2];
+    const long last_out = cfg.layers.back();
+    c.bpGradients = params - (last_in * last_out + last_out) +
+                    (last_in + 1); // single action column
+
+    // Replay: (state, next_state, action, reward, done) per entry.
+    c.replayBytes =
+        static_cast<long>(cfg.replayEntries) *
+        (2 * cfg.stateBytes + 4 + 4 + 1);
+
+    c.paramBytes = params * 4;
+    c.activationBytes = activations * 4 * cfg.minibatch;
+    return c;
+}
+
+} // namespace genesys::platform

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * DQN cost model for Table II ("Comparing DQN with EA"): given the
+ * reference DQN topology for ATARI [18], compute the forward-pass
+ * MACs, backprop gradient calculations, replay-memory footprint and
+ * parameter/activation storage that the paper contrasts with the
+ * measured EA requirements.
+ */
+
+#ifndef GENESYS_PLATFORM_DQN_MODEL_HH
+#define GENESYS_PLATFORM_DQN_MODEL_HH
+
+#include <vector>
+
+namespace genesys::platform
+{
+
+/** DQN hyper-parameters (defaults model an ATARI agent). */
+struct DqnConfig
+{
+    /** Fully-connected layer widths, input first, actions last. */
+    std::vector<int> layers = {128, 1024, 1024, 1024, 512, 18};
+    /** Replay-memory entries compared in Table II. */
+    int replayEntries = 100;
+    int minibatch = 32;
+    /**
+     * Bytes per stored state: 4 stacked 210x160 grayscale frames
+     * (the DQN pipeline stores raw frames before downsampling).
+     */
+    long stateBytes = 4L * 210 * 160;
+};
+
+/** Computed requirements. */
+struct DqnCosts
+{
+    long forwardMacs = 0;       ///< MACs per forward pass
+    long bpGradients = 0;       ///< gradient calculations per BP pass
+    long replayBytes = 0;       ///< replay memory footprint
+    long paramBytes = 0;        ///< fp32 parameters
+    long activationBytes = 0;   ///< activations for one minibatch
+};
+
+/** Evaluate the cost model. */
+DqnCosts dqnCosts(const DqnConfig &cfg = {});
+
+} // namespace genesys::platform
+
+#endif // GENESYS_PLATFORM_DQN_MODEL_HH

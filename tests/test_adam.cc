@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the ADAM systolic-array model (Section IV-D).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/adam.hh"
+
+using namespace genesys;
+using namespace genesys::hw;
+using genesys::nn::InferenceSchedule;
+using genesys::nn::PackedLayer;
+
+namespace
+{
+
+SocParams
+defaultSoc()
+{
+    return {};
+}
+
+PackedLayer
+layer(int m, int k, long weights)
+{
+    PackedLayer l;
+    l.numNodes = m;
+    l.vectorLen = k;
+    l.weights = weights;
+    return l;
+}
+
+} // namespace
+
+TEST(AdamLayer, SingleTileTiming)
+{
+    AdamEngine adam(defaultSoc());
+    const auto s = adam.simulateLayer(layer(16, 16, 100));
+    // One 32x32 tile: K-slice 16 + fill 32 + drain 32.
+    EXPECT_EQ(s.cycles, 16 + 32 + 32);
+    EXPECT_EQ(s.usefulMacs, 100);
+    EXPECT_EQ(s.arrayMacs, 256);
+    EXPECT_NEAR(s.utilization(), 100.0 / 256.0, 1e-12);
+}
+
+TEST(AdamLayer, TilingLargeMatrices)
+{
+    AdamEngine adam(defaultSoc());
+    const auto s = adam.simulateLayer(layer(64, 128, 1000));
+    // ceil(64/32)=2 x ceil(128/32)=4 tiles, each 32+32+32 cycles.
+    EXPECT_EQ(s.cycles, 2 * 4 * (32 + 32 + 32));
+}
+
+TEST(AdamLayer, EmptyLayerIsFree)
+{
+    AdamEngine adam(defaultSoc());
+    const auto s = adam.simulateLayer(layer(0, 0, 0));
+    EXPECT_EQ(s.cycles, 0);
+    EXPECT_EQ(s.arrayMacs, 0);
+}
+
+TEST(AdamLayer, VectorizeCostIsSerialInK)
+{
+    AdamEngine adam(defaultSoc());
+    const auto s = adam.simulateLayer(layer(8, 50, 200));
+    EXPECT_EQ(s.vectorizeCycles, 50 * AdamEngine::cpuCyclesPerPack);
+}
+
+TEST(AdamGenome, AccumulatesLayers)
+{
+    AdamEngine adam(defaultSoc());
+    InferenceSchedule sched;
+    sched.layers = {layer(18, 128, 2304), layer(4, 18, 72)};
+    const auto s = adam.simulateGenome(sched);
+    EXPECT_EQ(s.layers, 2);
+    EXPECT_EQ(s.usefulMacs, 2376);
+    EXPECT_EQ(s.sramReads, 2304 + 128 + 72 + 18);
+    EXPECT_EQ(s.sramWrites, 18 + 4);
+    EXPECT_GT(s.cycles, 0);
+}
+
+TEST(AdamInference, WeightReuseAcrossPasses)
+{
+    AdamEngine adam(defaultSoc());
+    InferenceSchedule sched;
+    sched.layers = {layer(18, 128, 2304)};
+    const auto one = adam.simulateInference(sched, 1);
+    const auto ten = adam.simulateInference(sched, 10);
+    // Compute scales linearly...
+    EXPECT_EQ(ten.cycles, 10 * one.cycles);
+    EXPECT_EQ(ten.usefulMacs, 10 * one.usefulMacs);
+    // ...but weights are fetched once per generation (Section IV-A):
+    // passes 2..10 only re-read the packed input vectors.
+    EXPECT_EQ(ten.sramReads, one.sramReads + 9 * 128);
+}
+
+TEST(AdamInference, UtilizationReflectsSparsity)
+{
+    AdamEngine adam(defaultSoc());
+    InferenceSchedule dense, sparse;
+    dense.layers = {layer(32, 32, 1024)};
+    sparse.layers = {layer(32, 32, 64)};
+    EXPECT_DOUBLE_EQ(adam.simulateGenome(dense).utilization(), 1.0);
+    EXPECT_NEAR(adam.simulateGenome(sparse).utilization(), 64.0 / 1024.0,
+                1e-12);
+}
+
+TEST(AdamInference, EnergyComponentsPositive)
+{
+    AdamEngine adam(defaultSoc());
+    EnergyModel energy;
+    InferenceSchedule sched;
+    sched.layers = {layer(18, 128, 2304)};
+    const auto s = adam.simulateInference(sched, 5);
+    EXPECT_GT(s.macEnergyJ(energy), 0.0);
+    EXPECT_GT(s.sramEnergyJ(energy), 0.0);
+    EXPECT_GT(s.cpuEnergyJ(energy), 0.0);
+    EXPECT_NEAR(s.totalEnergyJ(energy),
+                s.macEnergyJ(energy) + s.sramEnergyJ(energy) +
+                    s.cpuEnergyJ(energy),
+                1e-18);
+}
+
+TEST(AdamInference, SmallerArrayNeedsMoreCycles)
+{
+    SocParams big = defaultSoc();
+    SocParams small = defaultSoc();
+    small.adamRows = small.adamCols = 8;
+    InferenceSchedule sched;
+    sched.layers = {layer(64, 128, 4000)};
+    EXPECT_GT(AdamEngine(small).simulateGenome(sched).cycles,
+              AdamEngine(big).simulateGenome(sched).cycles);
+}

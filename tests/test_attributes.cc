@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for gene attribute specifications (init / mutate behaviour).
+ */
+
+#include <gtest/gtest.h>
+
+#include "neat/attributes.hh"
+
+using namespace genesys;
+using namespace genesys::neat;
+
+TEST(FloatAttribute, InitRespectsBounds)
+{
+    FloatAttributeSpec spec;
+    spec.initMean = 0.0;
+    spec.initStdev = 10.0;
+    spec.minValue = -1.0;
+    spec.maxValue = 1.0;
+    XorWow rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = spec.initValue(rng);
+        EXPECT_GE(v, -1.0);
+        EXPECT_LE(v, 1.0);
+    }
+}
+
+TEST(FloatAttribute, InitDistributionMoments)
+{
+    FloatAttributeSpec spec;
+    spec.initMean = 2.0;
+    spec.initStdev = 0.5;
+    XorWow rng(2);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += spec.initValue(rng);
+    EXPECT_NEAR(sum / n, 2.0, 0.02);
+}
+
+TEST(FloatAttribute, ZeroStdevIsConstant)
+{
+    FloatAttributeSpec spec;
+    spec.initMean = 1.0;
+    spec.initStdev = 0.0;
+    XorWow rng(3);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(spec.initValue(rng), 1.0);
+}
+
+TEST(FloatAttribute, MutateNeverEscapesBounds)
+{
+    FloatAttributeSpec spec;
+    spec.minValue = -2.0;
+    spec.maxValue = 2.0;
+    spec.mutatePower = 5.0;
+    spec.mutateRate = 1.0;
+    XorWow rng(4);
+    double v = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+        v = spec.mutateValue(v, rng);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LE(v, 2.0);
+    }
+}
+
+TEST(FloatAttribute, ZeroRatesLeaveValueUntouched)
+{
+    FloatAttributeSpec spec;
+    spec.mutateRate = 0.0;
+    spec.replaceRate = 0.0;
+    XorWow rng(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(spec.mutateValue(1.25, rng), 1.25);
+}
+
+TEST(FloatAttribute, MutationRateHonoredStatistically)
+{
+    FloatAttributeSpec spec;
+    spec.mutateRate = 0.25;
+    spec.replaceRate = 0.0;
+    spec.mutatePower = 0.1;
+    XorWow rng(6);
+    int changed = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (spec.mutateValue(0.0, rng) != 0.0)
+            ++changed;
+    }
+    EXPECT_NEAR(static_cast<double>(changed) / n, 0.25, 0.02);
+}
+
+TEST(BoolAttribute, DefaultAndMutate)
+{
+    BoolAttributeSpec spec;
+    spec.defaultValue = true;
+    spec.mutateRate = 1.0;
+    XorWow rng(7);
+    EXPECT_TRUE(spec.initValue(rng));
+    int flips_to_false = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        if (!spec.mutateValue(true, rng))
+            ++flips_to_false;
+    }
+    // Re-randomization: half the mutations land on false.
+    EXPECT_NEAR(static_cast<double>(flips_to_false) / n, 0.5, 0.03);
+}
+
+TEST(EnumAttribute, SingleOptionIsStable)
+{
+    EnumAttributeSpec<int> spec{7, {7}, 1.0};
+    XorWow rng(8);
+    EXPECT_EQ(spec.initValue(rng), 7);
+    EXPECT_EQ(spec.mutateValue(7, rng), 7);
+}
+
+TEST(EnumAttribute, MutatesAmongOptions)
+{
+    EnumAttributeSpec<int> spec{1, {1, 2, 3}, 1.0};
+    XorWow rng(9);
+    std::set<int> seen;
+    for (int i = 0; i < 200; ++i)
+        seen.insert(spec.mutateValue(1, rng));
+    EXPECT_EQ(seen.size(), 3u);
+}

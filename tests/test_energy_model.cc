@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the power/area model: the published 15 nm design point
+ * (Fig 8(a)) must be reproduced exactly, and the sweep curves
+ * (Fig 8(b,c)) must behave as in the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/energy_model.hh"
+
+using namespace genesys::hw;
+
+TEST(EnergyModelTest, PublishedDesignPointPower)
+{
+    EnergyModel m;
+    SocParams soc; // defaults = the paper's design point
+    const auto p = m.rooflinePower(soc);
+    // Fig 8(a): 947.5 mW total at 256 EvE PEs, 200 MHz, 1 V.
+    EXPECT_NEAR(p.totalMw(), 947.5, 1.0);
+    EXPECT_GT(p.eveMw, 0.0);
+    EXPECT_GT(p.adamMw, 0.0);
+    EXPECT_GT(p.sramMw, 0.0);
+    EXPECT_GT(p.m0Mw, 0.0);
+}
+
+TEST(EnergyModelTest, PublishedDesignPointArea)
+{
+    EnergyModel m;
+    SocParams soc;
+    const auto a = m.area(soc);
+    // Fig 8(a): EvE 0.89 mm^2, ADAM 0.25 mm^2, SoC 2.45 mm^2.
+    EXPECT_NEAR(a.eveMm2, 0.89, 0.01);
+    EXPECT_NEAR(a.adamMm2, 0.25, 0.03);
+    EXPECT_NEAR(a.totalMm2(), 2.45, 0.05);
+}
+
+TEST(EnergyModelTest, PowerUnderOneWattAt256Pes)
+{
+    // "With 256 PEs, we comfortably blanket under 1W" (Section V).
+    EnergyModel m;
+    SocParams soc;
+    soc.numEvePe = 256;
+    EXPECT_LT(m.rooflinePower(soc).totalMw(), 1000.0);
+}
+
+TEST(EnergyModelTest, PowerScalesWithEvePes)
+{
+    EnergyModel m;
+    double prev = 0.0;
+    for (int n : {2, 4, 8, 16, 32, 64, 128, 256, 512}) {
+        SocParams soc;
+        soc.numEvePe = n;
+        const double p = m.rooflinePower(soc).totalMw();
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(EnergyModelTest, NonEveComponentsConstantAcrossSweep)
+{
+    EnergyModel m;
+    SocParams a, b;
+    a.numEvePe = 2;
+    b.numEvePe = 512;
+    EXPECT_DOUBLE_EQ(m.rooflinePower(a).adamMw,
+                     m.rooflinePower(b).adamMw);
+    EXPECT_DOUBLE_EQ(m.rooflinePower(a).sramMw,
+                     m.rooflinePower(b).sramMw);
+    EXPECT_DOUBLE_EQ(m.area(a).sramMm2, m.area(b).sramMm2);
+}
+
+TEST(EnergyModelTest, EvePeGeometryMatchesFloorplan)
+{
+    // Fig 8(a): EvE PE is 59 um x 59 um, MAC PE 15 um x 15 um.
+    EnergyParams p;
+    EXPECT_NEAR(p.evePeMm2, 0.059 * 0.059, 1e-9);
+    EXPECT_NEAR(p.adamMacMm2, 0.015 * 0.015, 1e-9);
+}
+
+TEST(EnergyModelTest, EventEnergiesConvertToJoules)
+{
+    EnergyModel m;
+    EXPECT_DOUBLE_EQ(m.sramReadJ(), m.params().sramReadPj * 1e-12);
+    EXPECT_DOUBLE_EQ(m.macJ(), m.params().macPj * 1e-12);
+    EXPECT_GT(m.sramWriteJ(), m.sramReadJ()); // writes cost more
+    EXPECT_GT(m.sramReadJ(), m.evePeOpJ());   // memory >> compute
+    EXPECT_GT(m.dramByteJ(), m.sramReadJ() / 8.0); // DRAM >> SRAM
+}
+
+TEST(EnergyModelTest, CyclesToSecondsUsesFrequency)
+{
+    EnergyModel m;
+    SocParams soc;
+    EXPECT_DOUBLE_EQ(m.cyclesToSeconds(soc, 200e6), 1.0);
+    EXPECT_DOUBLE_EQ(m.cyclesToSeconds(soc, 200.0), 1e-6);
+}

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the trace-driven EvE array simulator: the properties
+ * behind Fig 11(b,c) — multicast read reduction, runtime scaling with
+ * PE count, bank-bandwidth limits, and energy accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/eve.hh"
+
+using namespace genesys;
+using namespace genesys::hw;
+
+namespace
+{
+
+/**
+ * A paper-shaped trace: `children` bred from a small survivor pool so
+ * parent reuse is high (Fig 4(c)).
+ */
+neat::EvolutionTrace
+paperTrace(int children, int genes_per_genome, int survivors,
+           uint64_t seed)
+{
+    neat::EvolutionTrace t;
+    t.generation = 1;
+    XorWow rng(seed);
+    for (int i = 0; i < children; ++i) {
+        neat::ChildRecord c;
+        c.childKey = 1000 + i;
+        c.parent1Key = static_cast<int>(
+            rng.uniformInt(static_cast<uint32_t>(survivors)));
+        c.parent2Key = static_cast<int>(
+            rng.uniformInt(static_cast<uint32_t>(survivors)));
+        c.parent1Genes = static_cast<size_t>(genes_per_genome);
+        c.parent2Genes = static_cast<size_t>(genes_per_genome);
+        c.alignedStreamLen =
+            static_cast<size_t>(genes_per_genome * 1.2);
+        c.childNodeGenes = 4;
+        c.childConnGenes = static_cast<size_t>(genes_per_genome) - 4;
+        c.ops.crossoverOps = genes_per_genome;
+        c.ops.perturbOps = genes_per_genome;
+        t.children.push_back(c);
+    }
+    return t;
+}
+
+EveGenStats
+simulate(int num_pe, NocTopology noc, const neat::EvolutionTrace &t)
+{
+    SocParams soc;
+    soc.numEvePe = num_pe;
+    soc.noc = noc;
+    static EnergyModel energy;
+    return EveEngine(soc, energy).simulateGeneration(t);
+}
+
+} // namespace
+
+TEST(EveEngine, WaveCountMatchesPeCount)
+{
+    const auto t = paperTrace(150, 100, 6, 1);
+    EXPECT_EQ(simulate(256, NocTopology::MulticastTree, t).waves, 1);
+    EXPECT_EQ(simulate(50, NocTopology::MulticastTree, t).waves, 3);
+    EXPECT_EQ(simulate(2, NocTopology::MulticastTree, t).waves, 75);
+}
+
+TEST(EveEngine, RuntimeFallsWithMorePes)
+{
+    const auto t = paperTrace(150, 500, 6, 2);
+    long prev = LONG_MAX;
+    for (int pe : {2, 4, 8, 16, 32, 64, 128, 256}) {
+        const long cycles =
+            simulate(pe, NocTopology::MulticastTree, t).cycles;
+        EXPECT_LE(cycles, prev) << pe << " PEs";
+        prev = cycles;
+    }
+}
+
+TEST(EveEngine, RuntimeTapersAtPopulationLimit)
+{
+    // "The tapering off of the trends at 256 PEs is due to ...
+    // population size of 150" (Section VI-D).
+    const auto t = paperTrace(150, 500, 6, 3);
+    const long at256 = simulate(256, NocTopology::MulticastTree, t).cycles;
+    const long at512 = simulate(512, NocTopology::MulticastTree, t).cycles;
+    EXPECT_EQ(at256, at512);
+}
+
+TEST(EveEngine, MulticastCutsSramReads)
+{
+    const auto t = paperTrace(150, 500, 4, 4);
+    const auto p2p = simulate(256, NocTopology::PointToPoint, t);
+    const auto mc = simulate(256, NocTopology::MulticastTree, t);
+    // Fig 11(b): >100x reduction with high parent reuse at high PE
+    // counts. With 4 survivors serving 150 children: ~75x-ish.
+    EXPECT_GT(p2p.sramReads, 30 * mc.sramReads);
+    EXPECT_EQ(p2p.geneDeliveries, mc.geneDeliveries);
+}
+
+TEST(EveEngine, MulticastSavingsSmallAtLowPeCount)
+{
+    const auto t = paperTrace(150, 500, 4, 5);
+    const auto p2p = simulate(2, NocTopology::PointToPoint, t);
+    const auto mc = simulate(2, NocTopology::MulticastTree, t);
+    // Only 2 children per wave: at most 2x sharing.
+    EXPECT_LT(p2p.sramReads, 3 * mc.sramReads);
+}
+
+TEST(EveEngine, SramEnergyDropsWithPeCount)
+{
+    // Fig 11(c): "almost monotonic improvement in energy efficiency
+    // as more EvE PEs are added" (a consequence of GLR).
+    const auto t = paperTrace(150, 500, 6, 6);
+    double prev = 1e18;
+    for (int pe : {2, 8, 32, 128, 256}) {
+        const double e =
+            simulate(pe, NocTopology::MulticastTree, t).sramEnergyJ;
+        EXPECT_LE(e, prev * 1.02) << pe << " PEs";
+        prev = e;
+    }
+}
+
+TEST(EveEngine, PointToPointBecomesBandwidthBound)
+{
+    const auto t = paperTrace(150, 500, 6, 7);
+    const auto p2p = simulate(256, NocTopology::PointToPoint, t);
+    // 256 PEs demanding 2 streams each >> 48 banks: the wave is
+    // stretched by the SRAM bandwidth.
+    const auto mc = simulate(256, NocTopology::MulticastTree, t);
+    EXPECT_GT(p2p.cycles, mc.cycles);
+}
+
+TEST(EveEngine, ElitesCostNothing)
+{
+    auto t = paperTrace(10, 100, 2, 8);
+    const auto base = simulate(16, NocTopology::MulticastTree, t);
+    neat::ChildRecord elite;
+    elite.childKey = 9999;
+    elite.parent1Key = elite.parent2Key = 9999;
+    elite.isElite = true;
+    elite.childNodeGenes = 4;
+    elite.childConnGenes = 96;
+    t.children.push_back(elite);
+    const auto with_elite = simulate(16, NocTopology::MulticastTree, t);
+    EXPECT_EQ(base.cycles, with_elite.cycles);
+    EXPECT_EQ(base.sramReads, with_elite.sramReads);
+    EXPECT_EQ(base.sramWrites, with_elite.sramWrites);
+}
+
+TEST(EveEngine, WritesMatchChildGenes)
+{
+    const auto t = paperTrace(20, 100, 3, 9);
+    const auto s = simulate(8, NocTopology::MulticastTree, t);
+    EXPECT_EQ(s.sramWrites, t.totalChildGenes());
+}
+
+TEST(EveEngine, OpsMatchTrace)
+{
+    const auto t = paperTrace(20, 100, 3, 10);
+    const auto s = simulate(8, NocTopology::MulticastTree, t);
+    EXPECT_EQ(s.peOps, t.totalOps());
+}
+
+TEST(EveEngine, UtilizationBounded)
+{
+    const auto t = paperTrace(150, 300, 6, 11);
+    for (int pe : {2, 32, 256}) {
+        const auto s = simulate(pe, NocTopology::MulticastTree, t);
+        EXPECT_GT(s.peUtilization, 0.0);
+        EXPECT_LE(s.peUtilization, 1.0);
+    }
+}
+
+TEST(EveEngine, DramSpillOnOversizedGeneration)
+{
+    const auto t = paperTrace(10, 100, 2, 12);
+    SocParams soc;
+    soc.sramKiB = 4; // tiny buffer
+    EnergyModel energy;
+    EveEngine eve(soc, energy);
+    const auto s = eve.simulateGeneration(t, 100 * 1024);
+    EXPECT_GT(s.dramBytes, 0);
+    EXPECT_GT(s.dramEnergyJ, 0.0);
+}
+
+TEST(EveEngine, EmptyTraceIsFree)
+{
+    neat::EvolutionTrace t;
+    const auto s = simulate(64, NocTopology::MulticastTree, t);
+    EXPECT_EQ(s.cycles, 0);
+    EXPECT_EQ(s.sramReads, 0);
+    EXPECT_DOUBLE_EQ(s.totalEnergyJ(), 0.0);
+}
+
+TEST(EveEngine, EnergyBreakdownSumsToTotal)
+{
+    const auto t = paperTrace(150, 400, 6, 13);
+    const auto s = simulate(64, NocTopology::MulticastTree, t);
+    EXPECT_NEAR(s.totalEnergyJ(),
+                s.sramEnergyJ + s.peEnergyJ + s.nocEnergyJ +
+                    s.dramEnergyJ,
+                1e-18);
+}

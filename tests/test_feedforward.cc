@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests for phenotype construction: required-node analysis,
+ * topological layering, and network evaluation (including the
+ * levelizer that feeds ADAM).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/levelize.hh"
+
+using namespace genesys;
+using namespace genesys::neat;
+using namespace genesys::nn;
+
+namespace
+{
+
+NeatConfig
+netConfig(int inputs = 2, int outputs = 1)
+{
+    NeatConfig cfg;
+    cfg.numInputs = inputs;
+    cfg.numOutputs = outputs;
+    return cfg;
+}
+
+/** Hand-built genome: -1,-2 -> hidden 1 -> output 0, plus -2 -> 0. */
+Genome
+handGenome(const NeatConfig &cfg)
+{
+    Genome g(0);
+    NodeGene out;
+    out.key = 0;
+    out.bias = 0.0;
+    out.response = 1.0;
+    out.activation = Activation::Identity;
+    NodeGene hid = out;
+    hid.key = 1;
+    g.mutableNodes().emplace(0, out);
+    g.mutableNodes().emplace(1, hid);
+
+    auto conn = [](int a, int b, double w) {
+        ConnectionGene c;
+        c.key = {a, b};
+        c.weight = w;
+        c.enabled = true;
+        return c;
+    };
+    g.mutableConnections().emplace(ConnKey{-1, 1}, conn(-1, 1, 2.0));
+    g.mutableConnections().emplace(ConnKey{-2, 1}, conn(-2, 1, 3.0));
+    g.mutableConnections().emplace(ConnKey{1, 0}, conn(1, 0, 0.5));
+    g.mutableConnections().emplace(ConnKey{-2, 0}, conn(-2, 0, -1.0));
+    g.validate(cfg);
+    return g;
+}
+
+} // namespace
+
+TEST(RequiredForOutput, PrunesDeadBranches)
+{
+    const auto cfg = netConfig();
+    auto g = handGenome(cfg);
+    // Dead-end hidden node 2: fed by input but feeds nothing.
+    NodeGene dead;
+    dead.key = 2;
+    g.mutableNodes().emplace(2, dead);
+    ConnectionGene c;
+    c.key = {-1, 2};
+    c.enabled = true;
+    g.mutableConnections().emplace(c.key, c);
+
+    const auto req = requiredForOutput(g, cfg);
+    EXPECT_TRUE(req.count(0));
+    EXPECT_TRUE(req.count(1));
+    EXPECT_FALSE(req.count(2));
+}
+
+TEST(RequiredForOutput, DisabledConnectionsDoNotCount)
+{
+    const auto cfg = netConfig();
+    auto g = handGenome(cfg);
+    // Disable the only edge out of node 1 -> node 1 not required.
+    g.mutableConnections().at({1, 0}).enabled = false;
+    const auto req = requiredForOutput(g, cfg);
+    EXPECT_FALSE(req.count(1));
+}
+
+TEST(FeedForwardLayers, TwoLayerStructure)
+{
+    const auto cfg = netConfig();
+    const auto g = handGenome(cfg);
+    const auto layers = feedForwardLayers(g, cfg);
+    ASSERT_EQ(layers.size(), 2u);
+    EXPECT_EQ(layers[0], std::vector<int>{1});
+    EXPECT_EQ(layers[1], std::vector<int>{0});
+}
+
+TEST(FeedForwardLayers, DirectOnlyIsSingleLayer)
+{
+    const auto cfg = netConfig();
+    NodeIndexer idx(cfg.numOutputs);
+    XorWow rng(1);
+    const auto g = Genome::createNew(0, cfg, idx, rng);
+    const auto layers = feedForwardLayers(g, cfg);
+    ASSERT_EQ(layers.size(), 1u);
+    EXPECT_EQ(layers[0], std::vector<int>{0});
+}
+
+TEST(FeedForwardNetwork, EvaluatesHandGenomeExactly)
+{
+    const auto cfg = netConfig();
+    const auto g = handGenome(cfg);
+    const auto net = FeedForwardNetwork::create(g, cfg);
+    // hidden = 2*x1 + 3*x2 ; out = 0.5*hidden - 1.0*x2
+    const auto out = net.activate({1.0, 2.0});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NEAR(out[0], 0.5 * (2.0 + 6.0) - 2.0, 1e-12);
+}
+
+TEST(FeedForwardNetwork, BiasAndResponseApplied)
+{
+    const auto cfg = netConfig(1, 1);
+    Genome g(0);
+    NodeGene out;
+    out.key = 0;
+    out.bias = 2.0;
+    out.response = 3.0;
+    out.activation = Activation::Identity;
+    g.mutableNodes().emplace(0, out);
+    ConnectionGene c;
+    c.key = {-1, 0};
+    c.weight = 4.0;
+    c.enabled = true;
+    g.mutableConnections().emplace(c.key, c);
+    const auto net = FeedForwardNetwork::create(g, cfg);
+    // out = bias + response * (w * x) = 2 + 3 * 4 * 5.
+    EXPECT_NEAR(net.activate({5.0})[0], 62.0, 1e-12);
+}
+
+TEST(FeedForwardNetwork, DisabledConnectionContributesNothing)
+{
+    const auto cfg = netConfig();
+    auto g = handGenome(cfg);
+    g.mutableConnections().at({-2, 0}).enabled = false;
+    const auto net = FeedForwardNetwork::create(g, cfg);
+    const auto out = net.activate({1.0, 2.0});
+    EXPECT_NEAR(out[0], 0.5 * (2.0 + 6.0), 1e-12);
+}
+
+TEST(FeedForwardNetwork, UnreachableOutputReadsZero)
+{
+    const auto cfg = netConfig(2, 2);
+    auto g = handGenome(cfg);
+    // Output 1 exists but has no inbound connections.
+    NodeGene out1;
+    out1.key = 1;
+    // handGenome made node 1 a hidden node; rebuild cleanly instead.
+    Genome g2(0);
+    NodeGene o0;
+    o0.key = 0;
+    o0.activation = Activation::Identity;
+    NodeGene o1 = o0;
+    o1.key = 1;
+    g2.mutableNodes().emplace(0, o0);
+    g2.mutableNodes().emplace(1, o1);
+    ConnectionGene c;
+    c.key = {-1, 0};
+    c.weight = 1.0;
+    c.enabled = true;
+    g2.mutableConnections().emplace(c.key, c);
+    const auto net = FeedForwardNetwork::create(g2, cfg);
+    const auto out = net.activate({3.0, 0.0});
+    EXPECT_NEAR(out[0], 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(out[1], 0.0);
+}
+
+TEST(FeedForwardNetwork, WrongInputCountThrows)
+{
+    const auto cfg = netConfig();
+    const auto net = FeedForwardNetwork::create(handGenome(cfg), cfg);
+    EXPECT_ANY_THROW(net.activate({1.0}));
+}
+
+TEST(FeedForwardNetwork, MacsPerInferenceCountsEnabledLinks)
+{
+    const auto cfg = netConfig();
+    const auto net = FeedForwardNetwork::create(handGenome(cfg), cfg);
+    EXPECT_EQ(net.macsPerInference(), 4);
+}
+
+TEST(FeedForwardNetwork, SigmoidOutputsBounded)
+{
+    const auto cfg = netConfig();
+    NodeIndexer idx(cfg.numOutputs);
+    XorWow rng(5);
+    auto g = Genome::createNew(0, cfg, idx, rng);
+    for (int i = 0; i < 20; ++i)
+        g.mutate(cfg, idx, rng);
+    const auto net = FeedForwardNetwork::create(g, cfg);
+    for (double x = -3; x <= 3; x += 0.7) {
+        const auto out = net.activate({x, -x});
+        EXPECT_GE(out[0], 0.0);
+        EXPECT_LE(out[0], 1.0);
+    }
+}
+
+// --- levelize -------------------------------------------------------------
+
+TEST(Levelize, HandGenomeDims)
+{
+    const auto cfg = netConfig();
+    const auto sched = levelize(handGenome(cfg), cfg);
+    ASSERT_EQ(sched.layers.size(), 2u);
+    // Layer 0: node 1 fed by {-1,-2}: M=1, K=2, 2 weights.
+    EXPECT_EQ(sched.layers[0].numNodes, 1);
+    EXPECT_EQ(sched.layers[0].vectorLen, 2);
+    EXPECT_EQ(sched.layers[0].weights, 2);
+    // Layer 1: node 0 fed by {1,-2}: M=1, K=2, 2 weights.
+    EXPECT_EQ(sched.layers[1].numNodes, 1);
+    EXPECT_EQ(sched.layers[1].vectorLen, 2);
+    EXPECT_EQ(sched.layers[1].weights, 2);
+    EXPECT_EQ(sched.totalMacs(), 4);
+    EXPECT_EQ(sched.totalNodes(), 2);
+    EXPECT_EQ(sched.denseCells(), 4);
+    EXPECT_DOUBLE_EQ(sched.meanDensity(), 1.0);
+}
+
+TEST(Levelize, MacsMatchNetwork)
+{
+    const auto cfg = netConfig();
+    NodeIndexer idx(cfg.numOutputs);
+    XorWow rng(6);
+    auto g = Genome::createNew(0, cfg, idx, rng);
+    for (int i = 0; i < 30; ++i)
+        g.mutate(cfg, idx, rng);
+    const auto net = FeedForwardNetwork::create(g, cfg);
+    const auto sched = levelize(g, cfg);
+    EXPECT_EQ(sched.totalMacs(), net.macsPerInference());
+}
+
+TEST(Levelize, DensityAtMostOne)
+{
+    const auto cfg = netConfig(4, 3);
+    NodeIndexer idx(cfg.numOutputs);
+    XorWow rng(7);
+    auto g = Genome::createNew(0, cfg, idx, rng);
+    for (int i = 0; i < 40; ++i)
+        g.mutate(cfg, idx, rng);
+    const auto sched = levelize(g, cfg);
+    for (const auto &l : sched.layers) {
+        EXPECT_GT(l.density(), 0.0);
+        EXPECT_LE(l.density(), 1.0);
+    }
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the fixed-point codec used by the hardware gene format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/fixed_point.hh"
+
+using namespace genesys;
+
+TEST(FixedPoint, ResolutionAndRange)
+{
+    FixedPointCodec q(6, 10); // Q6.10
+    EXPECT_DOUBLE_EQ(q.resolution(), 1.0 / 1024.0);
+    EXPECT_DOUBLE_EQ(q.minValue(), -32.0);
+    EXPECT_NEAR(q.maxValue(), 32.0 - 1.0 / 1024.0, 1e-12);
+    EXPECT_EQ(q.bits(), 16);
+}
+
+TEST(FixedPoint, RoundTripWithinResolution)
+{
+    FixedPointCodec q(6, 10);
+    for (double v = -30.0; v <= 30.0; v += 0.377) {
+        const double r = q.quantize(v);
+        EXPECT_NEAR(r, v, q.resolution() / 2.0 + 1e-12) << "v=" << v;
+    }
+}
+
+TEST(FixedPoint, ExactValuesSurvive)
+{
+    FixedPointCodec q(6, 10);
+    EXPECT_DOUBLE_EQ(q.quantize(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(q.quantize(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(q.quantize(-1.5), -1.5);
+    EXPECT_DOUBLE_EQ(q.quantize(0.25), 0.25);
+}
+
+TEST(FixedPoint, SaturatesHigh)
+{
+    FixedPointCodec q(6, 10);
+    EXPECT_DOUBLE_EQ(q.quantize(1000.0), q.maxValue());
+}
+
+TEST(FixedPoint, SaturatesLow)
+{
+    FixedPointCodec q(6, 10);
+    EXPECT_DOUBLE_EQ(q.quantize(-1000.0), q.minValue());
+}
+
+TEST(FixedPoint, NegativeEncodingSignExtends)
+{
+    FixedPointCodec q(4, 4); // 8-bit field
+    const uint16_t raw = q.encode(-2.5);
+    EXPECT_DOUBLE_EQ(q.decode(raw), -2.5);
+}
+
+TEST(FixedPoint, NarrowField)
+{
+    FixedPointCodec q(2, 2); // 4 bits: [-2, 1.75] step 0.25
+    EXPECT_DOUBLE_EQ(q.minValue(), -2.0);
+    EXPECT_DOUBLE_EQ(q.maxValue(), 1.75);
+    EXPECT_DOUBLE_EQ(q.quantize(0.30), 0.25);
+}
+
+TEST(FixedPoint, RejectsBadConfig)
+{
+    EXPECT_ANY_THROW(FixedPointCodec(0, 4));
+    EXPECT_ANY_THROW(FixedPointCodec(10, 10));
+    EXPECT_ANY_THROW(FixedPointCodec(4, -1));
+}
+
+/** Property sweep: encode/decode stability across codec shapes. */
+class FixedPointSweep
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(FixedPointSweep, EncodeDecodeIsIdempotent)
+{
+    const auto [ib, fb] = GetParam();
+    FixedPointCodec q(ib, fb);
+    for (double v = q.minValue(); v <= q.maxValue();
+         v += (q.maxValue() - q.minValue()) / 37.0) {
+        const double once = q.quantize(v);
+        EXPECT_DOUBLE_EQ(q.quantize(once), once);
+        EXPECT_GE(once, q.minValue());
+        EXPECT_LE(once, q.maxValue());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FixedPointSweep,
+                         ::testing::Values(std::pair{6, 10},
+                                           std::pair{4, 12},
+                                           std::pair{8, 8},
+                                           std::pair{2, 6},
+                                           std::pair{1, 7},
+                                           std::pair{16, 0}));

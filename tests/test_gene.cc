@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for node and connection genes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "neat/gene.hh"
+
+using namespace genesys;
+using namespace genesys::neat;
+
+namespace
+{
+
+NeatConfig
+testConfig()
+{
+    NeatConfig cfg;
+    cfg.numInputs = 2;
+    cfg.numOutputs = 1;
+    return cfg;
+}
+
+} // namespace
+
+TEST(NodeGene, CreateNewUsesSpecs)
+{
+    auto cfg = testConfig();
+    cfg.bias.initMean = 5.0;
+    cfg.bias.initStdev = 0.0;
+    cfg.response.initMean = 1.0;
+    cfg.response.initStdev = 0.0;
+    XorWow rng(1);
+    const auto g = NodeGene::createNew(3, cfg, rng);
+    EXPECT_EQ(g.key, 3);
+    EXPECT_DOUBLE_EQ(g.bias, 5.0);
+    EXPECT_DOUBLE_EQ(g.response, 1.0);
+    EXPECT_EQ(g.activation, Activation::Sigmoid);
+    EXPECT_EQ(g.aggregation, Aggregation::Sum);
+}
+
+TEST(NodeGene, DistanceComponents)
+{
+    NodeGene a, b;
+    a.key = b.key = 1;
+    a.bias = 1.0;
+    b.bias = 3.0;
+    a.response = b.response = 1.0;
+    EXPECT_DOUBLE_EQ(a.distance(b), 2.0);
+    b.activation = Activation::ReLU;
+    EXPECT_DOUBLE_EQ(a.distance(b), 3.0);
+    b.aggregation = Aggregation::Max;
+    EXPECT_DOUBLE_EQ(a.distance(b), 4.0);
+    EXPECT_DOUBLE_EQ(a.distance(a), 0.0);
+}
+
+TEST(NodeGene, DistanceSymmetric)
+{
+    NodeGene a, b;
+    a.bias = -2.0;
+    b.bias = 1.5;
+    a.response = 0.5;
+    b.response = 2.0;
+    EXPECT_DOUBLE_EQ(a.distance(b), b.distance(a));
+}
+
+TEST(NodeGene, CrossoverPicksFromParents)
+{
+    NodeGene a, b;
+    a.key = b.key = 2;
+    a.bias = 1.0;
+    b.bias = -1.0;
+    a.response = 10.0;
+    b.response = -10.0;
+    XorWow rng(2);
+    for (int i = 0; i < 100; ++i) {
+        const auto c = a.crossover(b, rng);
+        EXPECT_EQ(c.key, 2);
+        EXPECT_TRUE(c.bias == 1.0 || c.bias == -1.0);
+        EXPECT_TRUE(c.response == 10.0 || c.response == -10.0);
+    }
+}
+
+TEST(NodeGene, CrossoverBiasSkewsSelection)
+{
+    NodeGene a, b;
+    a.key = b.key = 2;
+    a.bias = 1.0;
+    b.bias = -1.0;
+    XorWow rng(3);
+    int from_a = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (a.crossover(b, rng, 0.9).bias == 1.0)
+            ++from_a;
+    }
+    EXPECT_NEAR(static_cast<double>(from_a) / n, 0.9, 0.02);
+}
+
+TEST(ConnectionGene, CreateNewKeyAndDefaults)
+{
+    auto cfg = testConfig();
+    cfg.weight.initMean = 0.0;
+    cfg.weight.initStdev = 0.0;
+    XorWow rng(4);
+    const auto g = ConnectionGene::createNew({-1, 0}, cfg, rng);
+    EXPECT_EQ(g.key, (ConnKey{-1, 0}));
+    EXPECT_DOUBLE_EQ(g.weight, 0.0);
+    EXPECT_TRUE(g.enabled);
+}
+
+TEST(ConnectionGene, DistanceIncludesEnableMismatch)
+{
+    ConnectionGene a, b;
+    a.weight = 1.0;
+    b.weight = 3.5;
+    a.enabled = true;
+    b.enabled = false;
+    EXPECT_DOUBLE_EQ(a.distance(b), 3.5);
+    b.enabled = true;
+    EXPECT_DOUBLE_EQ(a.distance(b), 2.5);
+}
+
+TEST(ConnectionGene, CrossoverAttributesFromEitherParent)
+{
+    ConnectionGene a, b;
+    a.key = b.key = {1, 2};
+    a.weight = 4.0;
+    b.weight = -4.0;
+    a.enabled = true;
+    b.enabled = false;
+    XorWow rng(5);
+    bool saw_a = false, saw_b = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto c = a.crossover(b, rng);
+        EXPECT_EQ(c.key, a.key);
+        if (c.weight == 4.0)
+            saw_a = true;
+        if (c.weight == -4.0)
+            saw_b = true;
+    }
+    EXPECT_TRUE(saw_a);
+    EXPECT_TRUE(saw_b);
+}
+
+TEST(ConnectionGene, MutateKeepsWeightBounded)
+{
+    auto cfg = testConfig();
+    cfg.weight.minValue = -5.0;
+    cfg.weight.maxValue = 5.0;
+    cfg.weight.mutateRate = 1.0;
+    cfg.weight.mutatePower = 10.0;
+    XorWow rng(6);
+    ConnectionGene g;
+    g.key = {0, 1};
+    for (int i = 0; i < 500; ++i) {
+        g.mutate(cfg, rng);
+        EXPECT_GE(g.weight, -5.0);
+        EXPECT_LE(g.weight, 5.0);
+    }
+}

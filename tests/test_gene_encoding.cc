@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the 64-bit hardware gene format (Fig 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/gene_encoding.hh"
+
+using namespace genesys;
+using namespace genesys::hw;
+using genesys::neat::ConnectionGene;
+using genesys::neat::NodeGene;
+
+TEST(GeneCodec, NodeRoundTripWithinQuantization)
+{
+    GeneCodec codec;
+    NodeGene g;
+    g.key = 42;
+    g.bias = 1.375;     // exactly representable in Q6.10
+    g.response = -2.25;
+    g.activation = neat::Activation::ReLU;
+    g.aggregation = neat::Aggregation::Max;
+
+    const PackedGene p = codec.encodeNode(g, NodeClass::Hidden);
+    EXPECT_TRUE(p.isNode());
+    const NodeGene d = codec.decodeNode(p);
+    EXPECT_EQ(d.key, 42);
+    EXPECT_DOUBLE_EQ(d.bias, 1.375);
+    EXPECT_DOUBLE_EQ(d.response, -2.25);
+    EXPECT_EQ(d.activation, neat::Activation::ReLU);
+    EXPECT_EQ(d.aggregation, neat::Aggregation::Max);
+    EXPECT_EQ(codec.nodeClass(p), NodeClass::Hidden);
+}
+
+TEST(GeneCodec, NodeClassField)
+{
+    GeneCodec codec;
+    NodeGene g;
+    g.key = 0;
+    EXPECT_EQ(codec.nodeClass(codec.encodeNode(g, NodeClass::Output)),
+              NodeClass::Output);
+    EXPECT_EQ(codec.nodeClass(codec.encodeNode(g, NodeClass::Input)),
+              NodeClass::Input);
+}
+
+TEST(GeneCodec, ConnectionRoundTrip)
+{
+    GeneCodec codec;
+    ConnectionGene g;
+    g.key = {-7, 123};
+    g.weight = -0.5;
+    g.enabled = false;
+
+    const PackedGene p = codec.encodeConnection(g);
+    EXPECT_TRUE(p.isConnection());
+    const ConnectionGene d = codec.decodeConnection(p);
+    EXPECT_EQ(d.key.first, -7);
+    EXPECT_EQ(d.key.second, 123);
+    EXPECT_DOUBLE_EQ(d.weight, -0.5);
+    EXPECT_FALSE(d.enabled);
+    EXPECT_EQ(codec.connectionSource(p), -7);
+    EXPECT_EQ(codec.connectionDest(p), 123);
+}
+
+TEST(GeneCodec, AttributesSaturateToQ610Range)
+{
+    GeneCodec codec;
+    NodeGene g;
+    g.key = 1;
+    g.bias = 1000.0;
+    g.response = -1000.0;
+    const NodeGene d = codec.decodeNode(
+        codec.encodeNode(g, NodeClass::Hidden));
+    EXPECT_NEAR(d.bias, 32.0, 0.01);
+    EXPECT_DOUBLE_EQ(d.response, -32.0);
+}
+
+TEST(GeneCodec, QuantizationErrorBounded)
+{
+    GeneCodec codec;
+    XorWow rng(1);
+    for (int i = 0; i < 500; ++i) {
+        ConnectionGene g;
+        g.key = {static_cast<int>(rng.uniformInt(100u)),
+                 static_cast<int>(rng.uniformInt(100u))};
+        g.weight = rng.uniform(-30.0, 30.0);
+        const auto d = codec.decodeConnection(codec.encodeConnection(g));
+        EXPECT_NEAR(d.weight, g.weight,
+                    codec.attrCodec().resolution() / 2 + 1e-12);
+    }
+}
+
+TEST(GeneCodec, IdBiasCoversNegativeInputIds)
+{
+    EXPECT_EQ(GeneCodec::unpackId(GeneCodec::packId(-128)), -128);
+    EXPECT_EQ(GeneCodec::unpackId(GeneCodec::packId(0)), 0);
+    EXPECT_EQ(GeneCodec::unpackId(GeneCodec::packId(30000)), 30000);
+}
+
+TEST(GeneCodec, IdOutOfRangeThrows)
+{
+    EXPECT_ANY_THROW(GeneCodec::packId(40000));
+    EXPECT_ANY_THROW(GeneCodec::packId(-40000));
+}
+
+TEST(GeneCodec, GenomeSerializationOrdered)
+{
+    neat::NeatConfig cfg;
+    cfg.numInputs = 3;
+    cfg.numOutputs = 2;
+    neat::NodeIndexer idx(cfg.numOutputs);
+    XorWow rng(2);
+    auto g = neat::Genome::createNew(5, cfg, idx, rng);
+    g.mutateAddNode(cfg, idx, rng);
+
+    GeneCodec codec;
+    const auto stream = codec.encodeGenome(g, cfg);
+    ASSERT_EQ(stream.size(), g.numGenes());
+
+    // Node cluster first, then connections; each ascending.
+    bool in_conns = false;
+    int last_node = -1;
+    std::pair<int, int> last_conn{-100000, -100000};
+    for (const auto p : stream) {
+        if (p.isConnection()) {
+            in_conns = true;
+            const std::pair<int, int> k{codec.connectionSource(p),
+                                        codec.connectionDest(p)};
+            EXPECT_GT(k, last_conn);
+            last_conn = k;
+        } else {
+            EXPECT_FALSE(in_conns) << "node gene after connections";
+            EXPECT_GT(codec.nodeId(p), last_node);
+            last_node = codec.nodeId(p);
+        }
+    }
+}
+
+TEST(GeneCodec, GenomeRoundTripPreservesStructure)
+{
+    neat::NeatConfig cfg;
+    cfg.numInputs = 4;
+    cfg.numOutputs = 2;
+    neat::NodeIndexer idx(cfg.numOutputs);
+    XorWow rng(3);
+    auto g = neat::Genome::createNew(7, cfg, idx, rng);
+    for (int i = 0; i < 10; ++i)
+        g.mutate(cfg, idx, rng);
+
+    GeneCodec codec;
+    const auto back = codec.decodeGenome(codec.encodeGenome(g, cfg), 7);
+    EXPECT_EQ(back.numNodeGenes(), g.numNodeGenes());
+    EXPECT_EQ(back.numConnectionGenes(), g.numConnectionGenes());
+    for (const auto &[nk, ng] : g.nodes()) {
+        ASSERT_TRUE(back.nodes().count(nk));
+        EXPECT_EQ(back.nodes().at(nk).activation, ng.activation);
+    }
+    for (const auto &[ck, cg] : g.connections()) {
+        ASSERT_TRUE(back.connections().count(ck));
+        EXPECT_EQ(back.connections().at(ck).enabled, cg.enabled);
+        EXPECT_NEAR(back.connections().at(ck).weight, cg.weight,
+                    codec.attrCodec().resolution() / 2 + 1e-12);
+    }
+    back.validate(cfg);
+}
+
+TEST(GeneCodec, OutputNodesTaggedInGenomeStream)
+{
+    neat::NeatConfig cfg;
+    cfg.numInputs = 2;
+    cfg.numOutputs = 2;
+    neat::NodeIndexer idx(cfg.numOutputs);
+    XorWow rng(4);
+    auto g = neat::Genome::createNew(0, cfg, idx, rng);
+    g.mutateAddNode(cfg, idx, rng);
+    GeneCodec codec;
+    for (const auto p : codec.encodeGenome(g, cfg)) {
+        if (p.isNode()) {
+            const NodeClass cls = codec.nodeClass(p);
+            if (codec.nodeId(p) < cfg.numOutputs)
+                EXPECT_EQ(cls, NodeClass::Output);
+            else
+                EXPECT_EQ(cls, NodeClass::Hidden);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the NoC traffic models (Fig 11(b)) and the Genome Buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/noc.hh"
+#include "hw/sram.hh"
+
+using namespace genesys;
+using namespace genesys::hw;
+
+namespace
+{
+
+neat::EvolutionTrace
+sharedParentTrace(int children, int parent_genes)
+{
+    neat::EvolutionTrace t;
+    for (int i = 0; i < children; ++i) {
+        neat::ChildRecord c;
+        c.childKey = 100 + i;
+        c.parent1Key = 1; // everyone shares the same two parents
+        c.parent2Key = 2;
+        c.parent1Genes = static_cast<size_t>(parent_genes);
+        c.parent2Genes = static_cast<size_t>(parent_genes);
+        c.alignedStreamLen = static_cast<size_t>(parent_genes);
+        c.childNodeGenes = 2;
+        c.childConnGenes = static_cast<size_t>(parent_genes) - 2;
+        t.children.push_back(c);
+    }
+    return t;
+}
+
+std::vector<size_t>
+allIndices(const neat::EvolutionTrace &t)
+{
+    std::vector<size_t> idx;
+    for (size_t i = 0; i < t.children.size(); ++i)
+        idx.push_back(i);
+    return idx;
+}
+
+} // namespace
+
+TEST(NocTraffic, PointToPointReadsScaleWithConsumers)
+{
+    const auto trace = sharedParentTrace(16, 100);
+    const auto t = waveTraffic(NocTopology::PointToPoint, trace,
+                               allIndices(trace));
+    EXPECT_EQ(t.sramReads, 16 * 200);
+    EXPECT_EQ(t.deliveries, 16 * 200);
+}
+
+TEST(NocTraffic, MulticastReadsOncePerParent)
+{
+    const auto trace = sharedParentTrace(16, 100);
+    const auto t = waveTraffic(NocTopology::MulticastTree, trace,
+                               allIndices(trace));
+    // Two distinct parents, each read once.
+    EXPECT_EQ(t.sramReads, 200);
+    // Deliveries unchanged: every PE still consumes its stream.
+    EXPECT_EQ(t.deliveries, 16 * 200);
+}
+
+TEST(NocTraffic, MulticastSavingsGrowWithSharing)
+{
+    const auto trace = sharedParentTrace(64, 100);
+    const auto p2p = waveTraffic(NocTopology::PointToPoint, trace,
+                                 allIndices(trace));
+    const auto mc = waveTraffic(NocTopology::MulticastTree, trace,
+                                allIndices(trace));
+    EXPECT_EQ(p2p.sramReads / mc.sramReads, 64);
+}
+
+TEST(NocTraffic, MulticastNoSavingsWithoutSharing)
+{
+    neat::EvolutionTrace t;
+    for (int i = 0; i < 8; ++i) {
+        neat::ChildRecord c;
+        c.childKey = 100 + i;
+        c.parent1Key = 2 * i;     // all-distinct parents
+        c.parent2Key = 2 * i + 1;
+        c.parent1Genes = 50;
+        c.parent2Genes = 50;
+        t.children.push_back(c);
+    }
+    const auto idx = allIndices(t);
+    EXPECT_EQ(waveTraffic(NocTopology::PointToPoint, t, idx).sramReads,
+              waveTraffic(NocTopology::MulticastTree, t, idx).sramReads);
+}
+
+TEST(NocTraffic, SelfCrossoverCountsParentOnce)
+{
+    neat::EvolutionTrace t;
+    neat::ChildRecord c;
+    c.childKey = 10;
+    c.parent1Key = c.parent2Key = 3;
+    c.parent1Genes = c.parent2Genes = 40;
+    t.children.push_back(c);
+    const auto mc =
+        waveTraffic(NocTopology::MulticastTree, t, {0});
+    EXPECT_EQ(mc.sramReads, 40); // one parent genome, one read pass
+}
+
+TEST(GenomeBufferTest, CapacityAndFit)
+{
+    GenomeBuffer buf(1536, 48);
+    EXPECT_EQ(buf.capacityBytes(), 1536L * 1024);
+    EXPECT_TRUE(buf.fits(1024 * 1024));
+    EXPECT_FALSE(buf.fits(2 * 1024 * 1024));
+    EXPECT_EQ(buf.dramSpillBytes(1024), 0);
+    EXPECT_EQ(buf.dramSpillBytes(buf.capacityBytes() + 100), 100);
+}
+
+TEST(GenomeBufferTest, BankBandwidthLimit)
+{
+    GenomeBuffer buf(1536, 48);
+    EXPECT_EQ(buf.readsPerCycleLimit(), 48);
+    // Compute-bound: few reads, many compute cycles.
+    EXPECT_EQ(buf.serveCycles(100, 1000), 1000);
+    // Bandwidth-bound: 9600 reads / 48 banks = 200 > 100 compute.
+    EXPECT_EQ(buf.serveCycles(9600, 100), 200);
+    // Rounds up.
+    EXPECT_EQ(buf.serveCycles(49, 0), 2);
+}
+
+TEST(GenomeBufferTest, PaperGenerationFitsOnChip)
+{
+    // Section III-D1: per-generation footprint < 1 MB across the
+    // OpenAI suite; the 1.5 MB buffer holds it.
+    GenomeBuffer buf(1536, 48);
+    const long atari_generation = 150 * 800 * 8; // genes x 8 B
+    EXPECT_TRUE(buf.fits(atari_generation));
+}

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests for reproduction: spawn apportioning, elitism, survival
+ * threshold, trace recording and extinction handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "neat/reproduction.hh"
+
+using namespace genesys;
+using namespace genesys::neat;
+
+namespace
+{
+
+NeatConfig
+reproConfig()
+{
+    NeatConfig cfg;
+    cfg.numInputs = 2;
+    cfg.numOutputs = 1;
+    cfg.populationSize = 30;
+    cfg.elitism = 2;
+    cfg.survivalThreshold = 0.2;
+    cfg.maxStagnation = 50;
+    return cfg;
+}
+
+} // namespace
+
+TEST(ComputeSpawn, ProportionalToAdjustedFitness)
+{
+    const auto spawn =
+        Reproduction::computeSpawn({0.75, 0.25}, {10, 10}, 100, 2);
+    ASSERT_EQ(spawn.size(), 2u);
+    EXPECT_GT(spawn[0], spawn[1]);
+    // Totals stay near the population size.
+    EXPECT_NEAR(spawn[0] + spawn[1], 100, 25);
+}
+
+TEST(ComputeSpawn, MinimumSizeEnforced)
+{
+    const auto spawn =
+        Reproduction::computeSpawn({1.0, 0.0}, {20, 20}, 40, 5);
+    for (int s : spawn)
+        EXPECT_GE(s, 5);
+}
+
+TEST(ComputeSpawn, ZeroFitnessFallsBackToMinimum)
+{
+    const auto spawn =
+        Reproduction::computeSpawn({0.0, 0.0}, {10, 10}, 20, 3);
+    for (int s : spawn)
+        EXPECT_GE(s, 3);
+}
+
+TEST(ComputeSpawn, SmoothsTowardTarget)
+{
+    // A species at size 2 entitled to ~50 should not jump there in
+    // one generation (the 0.5 damping).
+    const auto spawn =
+        Reproduction::computeSpawn({0.5, 0.5}, {2, 98}, 100, 2);
+    EXPECT_LT(spawn[0], 50);
+    EXPECT_GT(spawn[0], 2);
+}
+
+TEST(Reproduction, NewPopulationHasConfiguredSize)
+{
+    const auto cfg = reproConfig();
+    Reproduction repro(cfg);
+    XorWow rng(1);
+    const auto pop = repro.createNewPopulation(rng);
+    EXPECT_EQ(pop.size(), 30u);
+    for (const auto &[gk, g] : pop) {
+        EXPECT_EQ(gk, g.key());
+        g.validate(cfg);
+    }
+}
+
+namespace
+{
+
+/** Run one reproduce() round with uniform fitness ranking. */
+struct ReproFixture : ::testing::Test
+{
+    ReproFixture() : cfg(reproConfig()), repro(cfg), set(cfg), rng(7)
+    {
+        pop = repro.createNewPopulation(rng);
+        int i = 0;
+        for (auto &[gk, g] : pop)
+            g.setFitness(i++); // strictly increasing by key
+        set.speciate(pop, 0);
+    }
+
+    NeatConfig cfg;
+    Reproduction repro;
+    SpeciesSet set;
+    XorWow rng;
+    std::map<int, Genome> pop;
+    EvolutionTrace trace;
+};
+
+} // namespace
+
+TEST_F(ReproFixture, NextGenerationHasPopulationSize)
+{
+    const auto next = repro.reproduce(set, pop, 0, rng, trace);
+    EXPECT_NEAR(static_cast<double>(next.size()), 30.0, 6.0);
+    EXPECT_EQ(trace.children.size(), next.size());
+}
+
+TEST_F(ReproFixture, ElitesSurviveUnchanged)
+{
+    const auto next = repro.reproduce(set, pop, 0, rng, trace);
+    // The two fittest genomes (keys 28, 29) are elites of their
+    // species (single species expected with default init).
+    int elites = 0;
+    for (const auto &c : trace.children) {
+        if (c.isElite) {
+            ++elites;
+            EXPECT_TRUE(next.count(c.childKey));
+            // Same genes as the parent generation's genome.
+            EXPECT_EQ(next.at(c.childKey).numGenes(),
+                      pop.at(c.childKey).numGenes());
+        }
+    }
+    EXPECT_GE(elites, cfg.elitism);
+}
+
+TEST_F(ReproFixture, ChildrenHaveFreshKeys)
+{
+    const auto next = repro.reproduce(set, pop, 0, rng, trace);
+    for (const auto &c : trace.children) {
+        if (!c.isElite) {
+            EXPECT_GE(c.childKey, 30); // new keys continue after 0..29
+        }
+    }
+}
+
+TEST_F(ReproFixture, ParentsComeFromSurvivalCutoff)
+{
+    // survivalThreshold 0.2 of 30 genomes = top 6 (keys 24..29).
+    const auto next = repro.reproduce(set, pop, 0, rng, trace);
+    for (const auto &c : trace.children) {
+        if (c.isElite)
+            continue;
+        EXPECT_GE(c.parent1Key, 24);
+        EXPECT_GE(c.parent2Key, 24);
+    }
+}
+
+TEST_F(ReproFixture, Parent1IsFitter)
+{
+    repro.reproduce(set, pop, 0, rng, trace);
+    for (const auto &c : trace.children) {
+        if (c.isElite)
+            continue;
+        EXPECT_GE(pop.at(c.parent1Key).fitness(),
+                  pop.at(c.parent2Key).fitness());
+    }
+}
+
+TEST_F(ReproFixture, TraceRecordsStreamLengths)
+{
+    repro.reproduce(set, pop, 0, rng, trace);
+    for (const auto &c : trace.children) {
+        if (c.isElite)
+            continue;
+        EXPECT_EQ(c.parent1Genes, pop.at(c.parent1Key).numGenes());
+        EXPECT_EQ(c.parent2Genes, pop.at(c.parent2Key).numGenes());
+        EXPECT_GE(c.alignedStreamLen,
+                  std::max(c.parent1Genes, c.parent2Genes));
+        EXPECT_LE(c.alignedStreamLen,
+                  c.parent1Genes + c.parent2Genes);
+        EXPECT_GT(c.childGenes(), 0u);
+        EXPECT_GT(c.ops.total(), 0);
+    }
+}
+
+TEST_F(ReproFixture, ChildrenAreValidGenomes)
+{
+    const auto next = repro.reproduce(set, pop, 0, rng, trace);
+    for (const auto &[gk, g] : next)
+        g.validate(cfg);
+}
+
+TEST_F(ReproFixture, TraceParentReuseConsistent)
+{
+    repro.reproduce(set, pop, 0, rng, trace);
+    const auto counts = trace.parentUseCounts();
+    long total_uses = 0;
+    for (const auto &[pk, n] : counts)
+        total_uses += n;
+    long non_elite = 0;
+    for (const auto &c : trace.children) {
+        if (!c.isElite)
+            ++non_elite;
+    }
+    // Each non-elite child counts 1 or 2 parent uses.
+    EXPECT_GE(total_uses, non_elite);
+    EXPECT_LE(total_uses, 2 * non_elite);
+    EXPECT_GE(trace.maxParentReuse(), 1);
+}
+
+TEST(Reproduction, ExtinctionReturnsEmpty)
+{
+    auto cfg = reproConfig();
+    cfg.maxStagnation = 1;
+    cfg.speciesElitism = 0;
+    Reproduction repro(cfg);
+    SpeciesSet set(cfg);
+    XorWow rng(3);
+    auto pop = repro.createNewPopulation(rng);
+    for (auto &[gk, g] : pop)
+        g.setFitness(1.0); // flat fitness forever
+    set.speciate(pop, 0);
+
+    EvolutionTrace trace;
+    std::map<int, Genome> next;
+    bool extinct = false;
+    for (int gen = 0; gen < 6; ++gen) {
+        next = repro.reproduce(set, pop, gen, rng, trace);
+        if (next.empty()) {
+            extinct = true;
+            break;
+        }
+        pop = next;
+        for (auto &[gk, g] : pop)
+            g.setFitness(1.0);
+        set.speciate(pop, gen + 1);
+    }
+    EXPECT_TRUE(extinct);
+}

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the XOR-WOW PRNG and seed derivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hh"
+
+using namespace genesys;
+
+TEST(XorWow, DeterministicForSameSeed)
+{
+    XorWow a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next32(), b.next32());
+}
+
+TEST(XorWow, DifferentSeedsDiverge)
+{
+    XorWow a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (a.next32() == b.next32())
+            ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(XorWow, ReseedRestartsSequence)
+{
+    XorWow a(7);
+    std::vector<uint32_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(a.next32());
+    a.reseed(7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next32(), first[static_cast<size_t>(i)]);
+}
+
+TEST(XorWow, UniformInUnitInterval)
+{
+    XorWow rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(XorWow, UniformMeanNearHalf)
+{
+    XorWow rng(5);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(XorWow, UniformRangeRespectsBounds)
+{
+    XorWow rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform(-3.0, 2.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 2.0);
+    }
+}
+
+TEST(XorWow, UniformIntCoversAllValues)
+{
+    XorWow rng(13);
+    std::set<uint32_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.uniformInt(7u));
+    EXPECT_EQ(seen.size(), 7u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(XorWow, UniformIntInclusiveRange)
+{
+    XorWow rng(17);
+    std::set<int> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const int v = rng.uniformInt(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(XorWow, UniformIntIsRoughlyUniform)
+{
+    XorWow rng(19);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.uniformInt(10u)];
+    for (int c : counts)
+        EXPECT_NEAR(c, n / 10, n / 100);
+}
+
+TEST(XorWow, GaussianMoments)
+{
+    XorWow rng(23);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(XorWow, GaussianScaled)
+{
+    XorWow rng(29);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(XorWow, BernoulliProbability)
+{
+    XorWow rng(31);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(XorWow, ShufflePreservesElements)
+{
+    XorWow rng(37);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(XorWow, Next8UsesHighBits)
+{
+    XorWow rng(41);
+    std::set<uint8_t> seen;
+    for (int i = 0; i < 20000; ++i)
+        seen.insert(rng.next8());
+    // All 256 byte values should appear.
+    EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(SplitMix, DeriveSeedIndependentStreams)
+{
+    const uint64_t base = 99;
+    XorWow a(deriveSeed(base, 0)), b(deriveSeed(base, 1));
+    int same = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (a.next32() == b.next32())
+            ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(SplitMix, DeriveSeedDeterministic)
+{
+    EXPECT_EQ(deriveSeed(5, 9), deriveSeed(5, 9));
+    EXPECT_NE(deriveSeed(5, 9), deriveSeed(5, 10));
+    EXPECT_NE(deriveSeed(5, 9), deriveSeed(6, 9));
+}

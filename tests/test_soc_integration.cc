@@ -1,0 +1,127 @@
+/**
+ * @file
+ * SoC-level integration tests: end-to-end consistency between the
+ * algorithmic run and the hardware model across configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/genesys.hh"
+
+using namespace genesys;
+using namespace genesys::core;
+
+namespace
+{
+
+/** A short hardware-in-the-loop run. */
+std::vector<GenerationReport>
+shortRun(const std::string &env, hw::SocParams soc, uint64_t seed = 17,
+         int gens = 3)
+{
+    SystemConfig cfg;
+    cfg.envName = env;
+    cfg.maxGenerations = gens;
+    cfg.seed = seed;
+    cfg.soc = soc;
+    System sys(cfg);
+    sys.run();
+    return sys.reports();
+}
+
+} // namespace
+
+TEST(SocIntegration, EvolutionEnergyScalesWithWorkload)
+{
+    hw::SocParams soc;
+    const auto cartpole = shortRun("CartPole_v0", soc);
+    const auto atari = shortRun("Amidar-ram-v0", soc);
+    // The RAM workload breeds ~100x more genes per generation; its
+    // evolution energy must dwarf CartPole's.
+    double cart_e = 0.0, atari_e = 0.0;
+    for (const auto &r : cartpole)
+        cart_e += r.hw.evolutionEnergyJ;
+    for (const auto &r : atari)
+        atari_e += r.hw.evolutionEnergyJ;
+    EXPECT_GT(atari_e, 20.0 * cart_e);
+}
+
+TEST(SocIntegration, FewerPesSlowEvolutionOnly)
+{
+    hw::SocParams big;
+    big.numEvePe = 256;
+    hw::SocParams small;
+    small.numEvePe = 4;
+    const auto rb = shortRun("MountainCar_v0", big);
+    const auto rs = shortRun("MountainCar_v0", small);
+    ASSERT_EQ(rb.size(), rs.size());
+    for (size_t i = 0; i + 1 < rb.size(); ++i) {
+        // (skip generations with empty traces at the run end)
+        if (rb[i].algo.evolutionOps == 0)
+            continue;
+        EXPECT_GT(rs[i].hw.evolutionSeconds,
+                  rb[i].hw.evolutionSeconds);
+        // Inference untouched by the EvE PE count.
+        EXPECT_DOUBLE_EQ(rs[i].hw.inferenceComputeSeconds,
+                         rb[i].hw.inferenceComputeSeconds);
+    }
+}
+
+TEST(SocIntegration, MulticastBeatsPointToPointOnEnergy)
+{
+    hw::SocParams mc;
+    mc.noc = hw::NocTopology::MulticastTree;
+    hw::SocParams p2p;
+    p2p.noc = hw::NocTopology::PointToPoint;
+    const auto rm = shortRun("AirRaid-ram-v0", mc);
+    const auto rp = shortRun("AirRaid-ram-v0", p2p);
+    double em = 0.0, ep = 0.0;
+    for (const auto &r : rm)
+        em += r.hw.evolutionEnergyJ;
+    for (const auto &r : rp)
+        ep += r.hw.evolutionEnergyJ;
+    EXPECT_GT(ep, 1.5 * em);
+}
+
+TEST(SocIntegration, AlgorithmUnaffectedByHardwareConfig)
+{
+    // The SoC model observes the run; it must never change it.
+    hw::SocParams a;
+    a.numEvePe = 2;
+    a.noc = hw::NocTopology::PointToPoint;
+    hw::SocParams b;
+    b.numEvePe = 512;
+    const auto ra = shortRun("MountainCar_v0", a, 23);
+    const auto rb = shortRun("MountainCar_v0", b, 23);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (size_t i = 0; i < ra.size(); ++i) {
+        EXPECT_DOUBLE_EQ(ra[i].algo.bestFitness, rb[i].algo.bestFitness);
+        EXPECT_EQ(ra[i].algo.totalGenes, rb[i].algo.totalGenes);
+    }
+}
+
+TEST(SocIntegration, SmallBufferForcesDramTraffic)
+{
+    hw::SocParams tiny;
+    tiny.sramKiB = 64; // 64 KiB cannot hold an Atari generation
+    const auto reports = shortRun("AirRaid-ram-v0", tiny);
+    bool spilled = false;
+    for (const auto &r : reports) {
+        if (r.hw.eve.dramBytes > 0)
+            spilled = true;
+    }
+    EXPECT_TRUE(spilled);
+}
+
+TEST(SocIntegration, EnergyBreakdownsNonNegative)
+{
+    const auto reports = shortRun("LunarLander_v2", {});
+    for (const auto &r : reports) {
+        EXPECT_GE(r.hw.eve.sramEnergyJ, 0.0);
+        EXPECT_GE(r.hw.eve.peEnergyJ, 0.0);
+        EXPECT_GE(r.hw.eve.nocEnergyJ, 0.0);
+        EXPECT_GE(r.hw.inferenceEnergyJ, 0.0);
+        EXPECT_GE(r.hw.adam.utilization(), 0.0);
+        EXPECT_LE(r.hw.adam.utilization(), 1.0);
+    }
+}

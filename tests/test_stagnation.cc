@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for species stagnation tracking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "neat/stagnation.hh"
+
+using namespace genesys;
+using namespace genesys::neat;
+
+namespace
+{
+
+struct StagnationFixture : ::testing::Test
+{
+    StagnationFixture()
+    {
+        cfg.numInputs = 2;
+        cfg.numOutputs = 1;
+        cfg.maxStagnation = 3;
+        cfg.speciesElitism = 0;
+        NodeIndexer idx(cfg.numOutputs);
+        XorWow rng(1);
+        for (int i = 0; i < 6; ++i)
+            pop.emplace(i, Genome::createNew(i, cfg, idx, rng));
+    }
+
+    void
+    setFitness(double f)
+    {
+        for (auto &[gk, g] : pop)
+            g.setFitness(f);
+    }
+
+    NeatConfig cfg;
+    std::map<int, Genome> pop;
+};
+
+} // namespace
+
+TEST_F(StagnationFixture, ImprovingSpeciesNeverStagnant)
+{
+    SpeciesSet set(cfg);
+    set.speciate(pop, 0);
+    Stagnation stag(cfg);
+    for (int gen = 0; gen < 10; ++gen) {
+        setFitness(static_cast<double>(gen)); // always improving
+        for (const auto &[sk, stagnant] : stag.update(set, pop, gen))
+            EXPECT_FALSE(stagnant) << "generation " << gen;
+    }
+}
+
+TEST_F(StagnationFixture, FlatFitnessStagnatesAfterThreshold)
+{
+    SpeciesSet set(cfg);
+    set.speciate(pop, 0);
+    Stagnation stag(cfg);
+    setFitness(1.0);
+    bool stagnated = false;
+    int stagnated_at = -1;
+    for (int gen = 0; gen < 8 && !stagnated; ++gen) {
+        for (const auto &[sk, s] : stag.update(set, pop, gen)) {
+            if (s) {
+                stagnated = true;
+                stagnated_at = gen;
+            }
+        }
+    }
+    EXPECT_TRUE(stagnated);
+    // Last improvement at gen 0, maxStagnation 3 -> stagnant at gen 4.
+    EXPECT_EQ(stagnated_at, 4);
+}
+
+TEST_F(StagnationFixture, SpeciesElitismProtectsBest)
+{
+    cfg.speciesElitism = 1;
+    SpeciesSet set(cfg);
+    set.speciate(pop, 0);
+    Stagnation stag(cfg);
+    setFitness(1.0);
+    for (int gen = 0; gen < 8; ++gen) {
+        const auto result = stag.update(set, pop, gen);
+        // With a single species and elitism 1, it can never stagnate.
+        for (const auto &[sk, s] : result)
+            EXPECT_FALSE(s);
+    }
+}
+
+TEST_F(StagnationFixture, SpeciesFitnessMaxVersusMean)
+{
+    SpeciesSet set(cfg);
+    set.speciate(pop, 0);
+    int i = 0;
+    for (auto &[gk, g] : pop)
+        g.setFitness(i++ < 3 ? 0.0 : 10.0);
+
+    cfg.speciesFitnessFunc = SpeciesFitnessFunc::Max;
+    Stagnation max_stag(cfg);
+    max_stag.update(set, pop, 0);
+    double max_val = 0.0;
+    for (const auto &[sk, sp] : set.species())
+        max_val = std::max(max_val, sp.fitness.value());
+    EXPECT_DOUBLE_EQ(max_val, 10.0);
+
+    SpeciesSet set2(cfg);
+    set2.speciate(pop, 0);
+    cfg.speciesFitnessFunc = SpeciesFitnessFunc::Mean;
+    Stagnation mean_stag(cfg);
+    mean_stag.update(set2, pop, 0);
+    // With a single species the mean is 5.0; with several, each
+    // species' mean is between 0 and 10.
+    for (const auto &[sk, sp] : set2.species()) {
+        EXPECT_GE(sp.fitness.value(), 0.0);
+        EXPECT_LE(sp.fitness.value(), 10.0);
+    }
+}
+
+TEST_F(StagnationFixture, HistoryTracksFitness)
+{
+    SpeciesSet set(cfg);
+    set.speciate(pop, 0);
+    Stagnation stag(cfg);
+    setFitness(1.0);
+    stag.update(set, pop, 0);
+    setFitness(2.0);
+    stag.update(set, pop, 1);
+    for (const auto &[sk, sp] : set.species()) {
+        ASSERT_EQ(sp.fitnessHistory.size(), 2u);
+        EXPECT_DOUBLE_EQ(sp.fitnessHistory[0], 1.0);
+        EXPECT_DOUBLE_EQ(sp.fitnessHistory[1], 2.0);
+        EXPECT_EQ(sp.lastImprovedGeneration, 1);
+    }
+}

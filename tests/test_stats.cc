@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the statistics utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+using namespace genesys;
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stdev(), 0.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.add(4.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+    EXPECT_DOUBLE_EQ(s.min(), 4.5);
+    EXPECT_DOUBLE_EQ(s.max(), 4.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stdev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined)
+{
+    RunningStat a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = i * 0.37;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 2u);
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);   // bin 0
+    h.add(9.99);  // bin 9
+    h.add(-5.0);  // clamped to bin 0
+    h.add(100.0); // clamped to bin 9
+    h.add(5.0);   // bin 5
+    EXPECT_EQ(h.countAt(0), 2u);
+    EXPECT_EQ(h.countAt(9), 2u);
+    EXPECT_EQ(h.countAt(5), 1u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, Frequencies)
+{
+    Histogram h(0.0, 4.0, 4);
+    for (int i = 0; i < 8; ++i)
+        h.add(0.5);
+    for (int i = 0; i < 2; ++i)
+        h.add(2.5);
+    EXPECT_DOUBLE_EQ(h.frequencyAt(0), 0.8);
+    EXPECT_DOUBLE_EQ(h.frequencyAt(2), 0.2);
+    EXPECT_DOUBLE_EQ(h.frequencyAt(1), 0.0);
+}
+
+TEST(Histogram, BinCenters)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(4), 9.0);
+}
+
+TEST(Percentile, MedianAndExtremes)
+{
+    std::vector<double> v{5, 1, 3, 2, 4};
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+}
+
+TEST(Percentile, Interpolates)
+{
+    std::vector<double> v{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 25), 2.5);
+}
+
+TEST(MeanGeomean, Basics)
+{
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_NEAR(geomean({1.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(Series, MeanCombinesRaggedRuns)
+{
+    Series a{"a", {1.0, 2.0, 3.0}};
+    Series b{"b", {3.0, 4.0}};
+    const Series m = meanSeries({a, b}, "m");
+    ASSERT_EQ(m.values.size(), 3u);
+    EXPECT_DOUBLE_EQ(m.values[0], 2.0);
+    EXPECT_DOUBLE_EQ(m.values[1], 3.0);
+    EXPECT_DOUBLE_EQ(m.values[2], 3.0); // only run a contributes
+}
+
+TEST(Series, MaxEnvelope)
+{
+    Series a{"a", {1.0, 5.0}};
+    Series b{"b", {3.0, 2.0, 9.0}};
+    const Series m = maxSeries({a, b}, "m");
+    ASSERT_EQ(m.values.size(), 3u);
+    EXPECT_DOUBLE_EQ(m.values[0], 3.0);
+    EXPECT_DOUBLE_EQ(m.values[1], 5.0);
+    EXPECT_DOUBLE_EQ(m.values[2], 9.0);
+}
