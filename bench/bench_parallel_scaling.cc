@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Parallel-scaling bench for the batched evaluation engine
+ * (src/exec/): sweeps thread counts over full-generation batches and
+ * prints evaluation throughput (genomes/s and env steps/s) plus the
+ * speedup over the 1-thread baseline, so PRs can track how close the
+ * engine runs to linear scaling. Results are checked bit-identical
+ * across the sweep — a run that scales but diverges is a failure.
+ *
+ * Usage: bench_parallel_scaling [env=CartPole_v0] [reps=20]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common/table.hh"
+#include "env/runner.hh"
+#include "exec/eval_engine.hh"
+#include "neat/genome.hh"
+
+using namespace genesys;
+using Clock = std::chrono::steady_clock;
+
+namespace
+{
+
+struct SweepPoint
+{
+    int threads = 1;
+    double seconds = 0.0;
+    long genomes = 0;
+    long steps = 0;
+
+    double genomesPerSec() const { return genomes / seconds; }
+    double stepsPerSec() const { return steps / seconds; }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string env_name = argc > 1 ? argv[1] : "CartPole_v0";
+    const int reps =
+        argc > 2 ? std::max(1, std::atoi(argv[2])) : 20;
+
+    // One realistic generation: population 150, genomes mutated a few
+    // rounds so the policy networks have some structure.
+    auto env = env::makeEnvironment(env_name);
+    neat::NeatConfig cfg = env::configForEnvironment(*env);
+    neat::NodeIndexer idx(cfg.numOutputs);
+    XorWow rng(7);
+    std::vector<neat::Genome> genomes;
+    genomes.reserve(static_cast<size_t>(cfg.populationSize));
+    for (int i = 0; i < cfg.populationSize; ++i) {
+        auto g = neat::Genome::createNew(i, cfg, idx, rng);
+        for (int m = 0; m < 6; ++m)
+            g.mutate(cfg, idx, rng);
+        genomes.push_back(std::move(g));
+    }
+    std::vector<neat::GenomeHandle> batch;
+    batch.reserve(genomes.size());
+    for (size_t i = 0; i < genomes.size(); ++i)
+        batch.push_back({static_cast<int>(i), &genomes[i]});
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::cout << "env=" << env_name << "  population="
+              << genomes.size() << "  reps=" << reps
+              << "  hardware threads=" << hw << "\n\n";
+
+    std::vector<SweepPoint> points;
+    std::vector<double> baseline_fitness;
+    bool identical = true;
+
+    for (int threads : {1, 2, 4, 8}) {
+        exec::EvalEngineConfig ecfg;
+        ecfg.envName = env_name;
+        ecfg.numThreads = threads;
+        ecfg.episodes = 1;
+        exec::EvalEngine engine(ecfg);
+        const auto seed_for = exec::EvalEngine::sharedEpisodeSeeds(3);
+
+        // Warm-up (thread pool spin-up, page faults).
+        engine.evaluateGeneration(batch, cfg, seed_for);
+
+        SweepPoint p;
+        p.threads = threads;
+        const auto t0 = Clock::now();
+        for (int r = 0; r < reps; ++r) {
+            const auto results =
+                engine.evaluateGeneration(batch, cfg, seed_for);
+            p.genomes += static_cast<long>(results.size());
+            for (const auto &res : results)
+                p.steps += res.detail.inferences;
+            if (r == 0) {
+                if (threads == 1) {
+                    baseline_fitness.reserve(results.size());
+                    for (const auto &res : results)
+                        baseline_fitness.push_back(res.detail.fitness);
+                } else {
+                    for (size_t i = 0; i < results.size(); ++i)
+                        identical &= results[i].detail.fitness ==
+                                     baseline_fitness[i];
+                }
+            }
+        }
+        p.seconds =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        points.push_back(p);
+    }
+
+    Table t("Generation-evaluation throughput vs worker threads");
+    t.setHeader({"threads", "time (s)", "genomes/s", "env steps/s",
+                 "speedup", "efficiency"});
+    const double base = points.front().genomesPerSec();
+    for (const auto &p : points) {
+        const double speedup = p.genomesPerSec() / base;
+        t.addRow({Table::integer(p.threads), Table::num(p.seconds, 3),
+                  Table::num(p.genomesPerSec(), 0),
+                  Table::num(p.stepsPerSec(), 0),
+                  Table::num(speedup, 2),
+                  Table::num(speedup / p.threads, 2)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nfitness bit-identical across thread counts: "
+              << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
+    if (hw < 4)
+        std::cout << "note: only " << hw
+                  << " hardware thread(s) available; speedup is "
+                     "bounded by the machine, not the engine.\n";
+    return identical ? 0 : 1;
+}

@@ -22,6 +22,9 @@ main(int argc, char **argv)
     cfg.envName = "CartPole_v0";
     cfg.maxGenerations = 40;
     cfg.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+    // Evaluate each generation on all hardware threads; fitness is
+    // bit-identical to a serial (numThreads = 1) run.
+    cfg.numThreads = 0;
 
     core::System sys(cfg);
     core::RunSummary summary = sys.run();

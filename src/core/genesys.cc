@@ -19,6 +19,16 @@ System::System(SystemConfig cfg)
     if (cfg_.tweakNeat)
         cfg_.tweakNeat(neatCfg_);
     population_ = std::make_unique<neat::Population>(neatCfg_, cfg_.seed);
+
+    // Batched evaluation engine: one private environment instance per
+    // worker; waves sized to the EvE PE array so batch statistics map
+    // 1:1 onto PE-array waves.
+    exec::EvalEngineConfig ecfg;
+    ecfg.envName = cfg_.envName;
+    ecfg.numThreads = cfg_.numThreads;
+    ecfg.episodes = spec_.episodes;
+    ecfg.waveWidth = cfg_.soc.numEvePe;
+    engine_ = std::make_unique<exec::EvalEngine>(std::move(ecfg));
 }
 
 System::~System() = default;
@@ -33,8 +43,10 @@ System::stepGeneration()
     GenerationReport report;
 
     // Inference phase: every genome runs its episodes (steps 1-6 of
-    // the walkthrough). While evaluating we gather the ADAM workload
-    // descriptors.
+    // the walkthrough), fanned out across the engine's workers as one
+    // batch. While collecting results we gather the ADAM workload
+    // descriptors in submission (ascending genome key) order, so the
+    // hardware model sees the same stream regardless of thread count.
     std::vector<hw::GenomeInferenceWork> inference_work;
     inference_work.reserve(population_->genomes().size());
     long steps = 0;
@@ -43,53 +55,55 @@ System::stepGeneration()
     double compact_cells = 0.0;
     double sparse_cells = 0.0;
     const size_t pop_size = population_->genomes().size();
+    exec::BatchStats batch_stats;
 
-    env::EpisodeRunner runner(*env_,
-                              deriveSeed(cfg_.seed,
-                                         static_cast<uint64_t>(gen)),
-                              spec_.episodes);
+    // Level playing field: every genome in the generation sees the
+    // same per-episode seeds, derived from (run seed, generation).
+    const auto seed_for = exec::EvalEngine::sharedEpisodeSeeds(
+        deriveSeed(cfg_.seed, static_cast<uint64_t>(gen)));
 
-    auto fitness = [&](const neat::Genome &g) {
-        const auto net = nn::FeedForwardNetwork::create(g, neatCfg_);
-        double total = 0.0;
-        long genome_steps = 0;
-        long genome_macs = 0;
-        for (int e = 0; e < spec_.episodes; ++e) {
-            const auto res = runner.runEpisode(
-                net, deriveSeed(deriveSeed(cfg_.seed,
-                                           static_cast<uint64_t>(gen)),
-                                static_cast<uint64_t>(e)));
-            total += res.fitness;
-            genome_steps += res.inferences;
-            genome_macs += res.macs;
-            max_episode_steps =
-                std::max(max_episode_steps,
-                         static_cast<long>(res.steps));
-        }
-        steps += genome_steps;
-        macs += static_cast<double>(genome_macs);
+    auto batch_fitness =
+        [&](const std::vector<neat::GenomeHandle> &batch) {
+            const auto results =
+                engine_->evaluateGeneration(batch, neatCfg_, seed_for);
+            batch_stats = engine_->lastBatchStats();
 
-        if (cfg_.simulateHardware) {
-            hw::GenomeInferenceWork w;
-            w.schedule = nn::levelize(g, neatCfg_);
-            w.inferences = genome_steps;
-            compact_cells += static_cast<double>(w.schedule.denseCells());
-            int max_key = 0;
-            for (const auto &[nk, ng] : g.nodes())
-                max_key = std::max(max_key, nk);
-            const double dim = max_key + neatCfg_.numInputs + 1;
-            sparse_cells += dim * dim;
-            inference_work.push_back(std::move(w));
-        }
-        return total / spec_.episodes;
-    };
+            std::vector<double> fits;
+            fits.reserve(results.size());
+            for (size_t i = 0; i < results.size(); ++i) {
+                const env::EvalDetail &d = results[i].detail;
+                fits.push_back(d.fitness);
+                steps += d.inferences;
+                macs += static_cast<double>(d.macs);
+                max_episode_steps =
+                    std::max(max_episode_steps,
+                             static_cast<long>(d.maxEpisodeSteps));
 
-    const bool done = population_->step(fitness);
+                if (cfg_.simulateHardware) {
+                    const neat::Genome &g = *batch[i].genome;
+                    hw::GenomeInferenceWork w;
+                    w.schedule = nn::levelize(g, neatCfg_);
+                    w.inferences = d.inferences;
+                    compact_cells +=
+                        static_cast<double>(w.schedule.denseCells());
+                    int max_key = 0;
+                    for (const auto &[nk, ng] : g.nodes())
+                        max_key = std::max(max_key, nk);
+                    const double dim = max_key + neatCfg_.numInputs + 1;
+                    sparse_cells += dim * dim;
+                    inference_work.push_back(std::move(w));
+                }
+            }
+            return fits;
+        };
+
+    const bool done = population_->stepBatch(batch_fitness);
     solved_ = done;
 
     report.algo = population_->history().back();
     report.inferenceSteps = steps;
     report.maxEpisodeSteps = max_episode_steps;
+    report.batches = std::move(batch_stats);
     report.macsPerStep =
         steps > 0 ? macs / static_cast<double>(steps) : 0.0;
     report.compactCellsPerGenome =

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "core/workloads.hh"
+#include "exec/eval_engine.hh"
 #include "hw/soc.hh"
 #include "neat/population.hh"
 
@@ -29,6 +30,13 @@ struct SystemConfig
     int maxGenerations = 0;
     int episodesPerEval = 1;
     uint64_t seed = 1;
+    /**
+     * Evaluation worker threads for the batched engine (exec::
+     * EvalEngine). 1 = serial; 0 = hardware concurrency. Fitness and
+     * RunSummary are bit-identical across thread counts for a given
+     * seed.
+     */
+    int numThreads = 1;
     /** Simulate the SoC alongside the algorithm? */
     bool simulateHardware = true;
     hw::SocParams soc{};
@@ -52,6 +60,11 @@ struct GenerationReport
     long maxEpisodeSteps = 0;
     /** Mean useful MACs per forward pass. */
     double macsPerStep = 0.0;
+    /**
+     * How this generation's batch mapped onto EvE PE-array waves
+     * (occupancy + BSP lockstep supersteps per wave).
+     */
+    exec::BatchStats batches;
 };
 
 /** Whole-run outcome. */
@@ -91,6 +104,7 @@ class System
     const env::Environment &environment() const { return *env_; }
     const hw::GenesysSoc &socModel() const { return soc_; }
     const SystemConfig &config() const { return cfg_; }
+    const exec::EvalEngine &evalEngine() const { return *engine_; }
 
     /** Replay the current best genome; returns its episode fitness. */
     env::EpisodeResult replayBest(uint64_t seed);
@@ -101,6 +115,7 @@ class System
     neat::NeatConfig neatCfg_;
     std::unique_ptr<env::Environment> env_;
     std::unique_ptr<neat::Population> population_;
+    std::unique_ptr<exec::EvalEngine> engine_;
     hw::GenesysSoc soc_;
     std::vector<GenerationReport> reports_;
     bool solved_ = false;

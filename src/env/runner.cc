@@ -1,5 +1,7 @@
 #include "env/runner.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "env/acrobot.hh"
 #include "env/atari_ram.hh"
@@ -15,23 +17,23 @@ EpisodeResult
 EpisodeRunner::runEpisode(const nn::FeedForwardNetwork &net, uint64_t seed)
 {
     EpisodeResult result;
-    const ActionSpace space = env_.actionSpace();
+    const ActionSpace space = env_->actionSpace();
     const long macs_per_step = net.macsPerInference();
 
-    std::vector<double> obs = env_.reset(seed);
+    std::vector<double> obs = env_->reset(seed);
     bool done = false;
     while (!done) {
         const std::vector<double> outputs = net.activate(obs);
         const Action action = decodeAction(space, outputs);
-        StepResult sr = env_.step(action);
+        StepResult sr = env_->step(action);
         obs = std::move(sr.observation);
         done = sr.done;
-        ++result.inferences;
-        result.macs += macs_per_step;
     }
-    result.cumulativeReward = env_.cumulativeReward();
-    result.fitness = env_.episodeFitness();
-    result.steps = env_.stepsTaken();
+    result.cumulativeReward = env_->cumulativeReward();
+    result.fitness = env_->episodeFitness();
+    result.steps = env_->stepsTaken();
+    result.inferences = result.steps; // one forward pass per step
+    result.macs = macs_per_step * result.inferences;
     return result;
 }
 
@@ -47,6 +49,31 @@ EpisodeRunner::evaluate(const neat::Genome &genome,
                      .fitness;
     }
     return total / static_cast<double>(episodes_);
+}
+
+EvalDetail
+EpisodeRunner::evaluateDetailed(const neat::Genome &genome,
+                                const neat::NeatConfig &cfg,
+                                const std::vector<uint64_t> &episodeSeeds)
+{
+    GENESYS_ASSERT(!episodeSeeds.empty(),
+                   "evaluateDetailed needs at least one episode seed");
+    const auto net = nn::FeedForwardNetwork::create(genome, cfg);
+
+    EvalDetail detail;
+    detail.episodes.reserve(episodeSeeds.size());
+    double total = 0.0;
+    for (uint64_t seed : episodeSeeds) {
+        EpisodeResult res = runEpisode(net, seed);
+        total += res.fitness;
+        detail.inferences += res.inferences;
+        detail.macs += res.macs;
+        detail.maxEpisodeSteps =
+            std::max(detail.maxEpisodeSteps, res.steps);
+        detail.episodes.push_back(std::move(res));
+    }
+    detail.fitness = total / static_cast<double>(episodeSeeds.size());
+    return detail;
 }
 
 neat::NeatConfig

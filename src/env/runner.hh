@@ -24,10 +24,31 @@ struct EpisodeResult
     double cumulativeReward = 0.0;
     double fitness = 0.0;
     int steps = 0;
-    /** Network evaluations performed (== steps). */
+    /**
+     * Network evaluations performed. The policy runs exactly one
+     * forward pass per environment step, so this always equals
+     * `steps` — the invariant is enforced in runEpisode() (assigned
+     * from the step count, not counted separately) and documented
+     * only here.
+     */
     long inferences = 0;
     /** Total MACs executed by the policy network. */
     long macs = 0;
+};
+
+/** Detailed outcome of evaluating one genome over several episodes. */
+struct EvalDetail
+{
+    /** Mean episode fitness — the genome's NEAT fitness. */
+    double fitness = 0.0;
+    /** Forward passes across all episodes. */
+    long inferences = 0;
+    /** MACs across all episodes. */
+    long macs = 0;
+    /** Longest single episode (the BSP lockstep count). */
+    int maxEpisodeSteps = 0;
+    /** Per-episode results, in episode order. */
+    std::vector<EpisodeResult> episodes;
 };
 
 /**
@@ -39,8 +60,24 @@ struct EpisodeResult
 class EpisodeRunner
 {
   public:
+    /** Borrow an environment owned elsewhere. */
     EpisodeRunner(Environment &env, uint64_t base_seed, int episodes = 1)
-        : env_(env), baseSeed_(base_seed), episodes_(episodes)
+        : env_(&env), baseSeed_(base_seed), episodes_(episodes)
+    {
+    }
+
+    /**
+     * Own the environment outright — for callers that want a
+     * self-contained evaluator with no external environment to keep
+     * alive (the engine's per-worker shards use the borrowing form
+     * with exec::EnvPool instead). Episodes touch no state shared
+     * with other runners ("const-safe" with respect to everything
+     * but the owned environment).
+     */
+    EpisodeRunner(std::unique_ptr<Environment> env, uint64_t base_seed,
+                  int episodes = 1)
+        : owned_(std::move(env)), env_(owned_.get()),
+          baseSeed_(base_seed), episodes_(episodes)
     {
     }
 
@@ -55,14 +92,26 @@ class EpisodeRunner
     double evaluate(const neat::Genome &genome,
                     const neat::NeatConfig &cfg);
 
+    /**
+     * Evaluate a genome over explicit per-episode seeds, keeping the
+     * per-episode results and workload totals the hardware model
+     * needs. Reads only the genome/config and mutates only the
+     * runner's environment.
+     */
+    EvalDetail evaluateDetailed(const neat::Genome &genome,
+                                const neat::NeatConfig &cfg,
+                                const std::vector<uint64_t> &episodeSeeds);
+
     /** Change the episode seeds (e.g. per generation). */
     void setBaseSeed(uint64_t s) { baseSeed_ = s; }
 
     int episodes() const { return episodes_; }
-    Environment &environment() { return env_; }
+    Environment &environment() { return *env_; }
+    bool ownsEnvironment() const { return owned_ != nullptr; }
 
   private:
-    Environment &env_;
+    std::unique_ptr<Environment> owned_; ///< null when borrowing
+    Environment *env_;
     uint64_t baseSeed_;
     int episodes_;
 };

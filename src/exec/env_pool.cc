@@ -1,0 +1,41 @@
+#include "exec/env_pool.hh"
+
+#include "common/logging.hh"
+#include "env/runner.hh"
+
+namespace genesys::exec
+{
+
+EnvPool::EnvPool(const std::string &envName, int count)
+    : EnvPool([&envName] { return env::makeEnvironment(envName); },
+              count)
+{
+}
+
+EnvPool::EnvPool(const Factory &factory, int count)
+{
+    GENESYS_ASSERT(count > 0, "EnvPool needs at least one instance");
+    envs_.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+        envs_.push_back(factory());
+}
+
+env::Environment &
+EnvPool::at(int worker)
+{
+    GENESYS_ASSERT(worker >= 0 &&
+                       worker < static_cast<int>(envs_.size()),
+                   "EnvPool worker " << worker << " out of range");
+    return *envs_[static_cast<std::size_t>(worker)];
+}
+
+const env::Environment &
+EnvPool::at(int worker) const
+{
+    GENESYS_ASSERT(worker >= 0 &&
+                       worker < static_cast<int>(envs_.size()),
+                   "EnvPool worker " << worker << " out of range");
+    return *envs_[static_cast<std::size_t>(worker)];
+}
+
+} // namespace genesys::exec

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Per-worker shard of environment instances — the "n Environment
+ * Instances" of Fig 6, one per evaluation worker. Each worker owns
+ * its environment outright, so the episode hot loop (reset / step /
+ * activate) never takes a lock, and because every environment is
+ * fully re-initialized by reset(seed), results depend only on the
+ * episode seed, never on which shard ran the episode.
+ */
+
+#ifndef GENESYS_EXEC_ENV_POOL_HH
+#define GENESYS_EXEC_ENV_POOL_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/env.hh"
+
+namespace genesys::exec
+{
+
+/** A fixed set of independent environment instances, one per worker. */
+class EnvPool
+{
+  public:
+    using Factory = std::function<std::unique_ptr<env::Environment>()>;
+
+    /** Build `count` instances of the named Table I environment. */
+    EnvPool(const std::string &envName, int count);
+
+    /** Build `count` instances from an arbitrary factory. */
+    EnvPool(const Factory &factory, int count);
+
+    EnvPool(const EnvPool &) = delete;
+    EnvPool &operator=(const EnvPool &) = delete;
+
+    int size() const { return static_cast<int>(envs_.size()); }
+
+    /** The environment owned by `worker`; valid for [0, size()). */
+    env::Environment &at(int worker);
+    const env::Environment &at(int worker) const;
+
+  private:
+    std::vector<std::unique_ptr<env::Environment>> envs_;
+};
+
+} // namespace genesys::exec
+
+#endif // GENESYS_EXEC_ENV_POOL_HH

@@ -1,0 +1,141 @@
+#include "exec/eval_engine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace genesys::exec
+{
+
+long
+BatchStats::lockstepSteps() const
+{
+    long total = 0;
+    for (const auto &w : waves)
+        total += w.lockstepSteps;
+    return total;
+}
+
+long
+BatchStats::totalInferences() const
+{
+    long total = 0;
+    for (const auto &w : waves)
+        total += w.totalInferences;
+    return total;
+}
+
+double
+BatchStats::meanOccupancy() const
+{
+    if (waves.empty() || waveWidth <= 0)
+        return 0.0;
+    long slots = 0;
+    long used = 0;
+    for (const auto &w : waves) {
+        slots += waveWidth;
+        used += w.genomes;
+    }
+    return static_cast<double>(used) / static_cast<double>(slots);
+}
+
+double
+BatchStats::lockstepEfficiency() const
+{
+    long slot_steps = 0;
+    for (const auto &w : waves)
+        slot_steps += w.lockstepSteps * w.genomes;
+    return slot_steps > 0 ? static_cast<double>(totalInferences()) /
+                                static_cast<double>(slot_steps)
+                          : 0.0;
+}
+
+uint64_t
+EvalEngine::mixSeed(uint64_t base, uint64_t genomeKey, uint64_t episode)
+{
+    return deriveSeed(deriveSeed(base, genomeKey), episode);
+}
+
+EvalEngine::SeedFn
+EvalEngine::sharedEpisodeSeeds(uint64_t base)
+{
+    return [base](int /*genomeKey*/, int episode) {
+        return deriveSeed(base, static_cast<uint64_t>(episode));
+    };
+}
+
+EvalEngine::SeedFn
+EvalEngine::perGenomeSeeds(uint64_t base)
+{
+    return [base](int genomeKey, int episode) {
+        return mixSeed(base, static_cast<uint64_t>(genomeKey),
+                       static_cast<uint64_t>(episode));
+    };
+}
+
+EvalEngine::EvalEngine(EvalEngineConfig cfg)
+    : cfg_(std::move(cfg)),
+      pool_(ThreadPool::resolveThreads(cfg_.numThreads)),
+      envs_(cfg_.envName, pool_.size())
+{
+    GENESYS_ASSERT(cfg_.episodes > 0,
+                   "EvalEngine needs episodes > 0, got "
+                       << cfg_.episodes);
+    cfg_.numThreads = pool_.size();
+}
+
+std::vector<GenomeEvalResult>
+EvalEngine::evaluateGeneration(const std::vector<neat::GenomeHandle> &batch,
+                               const neat::NeatConfig &cfg,
+                               const SeedFn &seedFor)
+{
+    std::vector<GenomeEvalResult> results(batch.size());
+
+    // Fan the genomes out. Each item touches only its own results
+    // slot and the worker's private environment, so the hot loop is
+    // lock-free; writing by index makes the output order (and hence
+    // every downstream consumer) independent of work stealing.
+    pool_.parallelFor(
+        batch.size(), [&](std::size_t i, int worker) {
+            const neat::GenomeHandle &h = batch[i];
+            std::vector<uint64_t> seeds(
+                static_cast<std::size_t>(cfg_.episodes));
+            for (int e = 0; e < cfg_.episodes; ++e)
+                seeds[static_cast<std::size_t>(e)] =
+                    seedFor(h.key, e);
+
+            env::EpisodeRunner runner(envs_.at(worker), seeds.front(),
+                                      cfg_.episodes);
+            GenomeEvalResult &out = results[i];
+            out.genomeKey = h.key;
+            out.detail = runner.evaluateDetailed(*h.genome, cfg, seeds);
+        });
+
+    // Map the batch onto EvE PE-array waves: genomes fill waves in
+    // submission order, one PE per genome; each wave runs in BSP
+    // lockstep until its longest episode set finishes.
+    const int width =
+        cfg_.waveWidth > 0
+            ? cfg_.waveWidth
+            : std::max<int>(1, static_cast<int>(batch.size()));
+    lastBatch_ = BatchStats{};
+    lastBatch_.waveWidth = width;
+    for (std::size_t start = 0; start < results.size();
+         start += static_cast<std::size_t>(width)) {
+        const std::size_t end =
+            std::min(results.size(),
+                     start + static_cast<std::size_t>(width));
+        BatchWave wave;
+        wave.genomes = static_cast<int>(end - start);
+        for (std::size_t i = start; i < end; ++i) {
+            wave.totalInferences += results[i].detail.inferences;
+            wave.lockstepSteps = std::max(
+                wave.lockstepSteps, results[i].detail.inferences);
+        }
+        lastBatch_.waves.push_back(wave);
+    }
+    return results;
+}
+
+} // namespace genesys::exec

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * EvalEngine — the parallel batched evaluation engine (the software
+ * analogue of GeneSys' population-level parallelism, Table III). A
+ * whole NEAT generation is submitted as one batch; a persistent
+ * thread pool fans the genomes out across workers, each of which
+ * owns a private environment instance (EnvPool shard), so the
+ * episode hot loop takes no locks. Episode seeds come from a
+ * SplitMix-style per-(genome, episode) mixer, which makes results a
+ * pure function of (genome, seed) — bit-identical whether the batch
+ * runs on 1 thread or N, and in whatever order workers claim items.
+ *
+ * The engine also records how the batch would map onto the EvE
+ * PE-array: genomes are grouped into waves of `waveWidth` (one PE
+ * per genome), each wave running in BSP lockstep until its longest
+ * episode finishes. These BatchStats feed the hw::GenesysSoc
+ * generation model.
+ */
+
+#ifndef GENESYS_EXEC_EVAL_ENGINE_HH
+#define GENESYS_EXEC_EVAL_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "env/runner.hh"
+#include "exec/env_pool.hh"
+#include "exec/thread_pool.hh"
+#include "neat/population.hh"
+
+namespace genesys::exec
+{
+
+/** Evaluation outcome for one genome in a batch. */
+struct GenomeEvalResult
+{
+    int genomeKey = -1;
+    env::EvalDetail detail;
+};
+
+/**
+ * One EvE PE-array wave: up to `waveWidth` genomes evaluated in BSP
+ * lockstep — every PE steps its episode each superstep, and the wave
+ * retires when its longest episode finishes.
+ */
+struct BatchWave
+{
+    /** Genomes mapped onto this wave (its occupancy). */
+    int genomes = 0;
+    /** Supersteps the wave runs: max inferences over its genomes. */
+    long lockstepSteps = 0;
+    /** Useful forward passes retired by the wave. */
+    long totalInferences = 0;
+};
+
+/** How one generation's batch mapped onto PE-array waves. */
+struct BatchStats
+{
+    int waveWidth = 0;
+    std::vector<BatchWave> waves;
+
+    /** Total BSP supersteps across all waves (waves run back to back). */
+    long lockstepSteps() const;
+    /** Useful forward passes across all waves. */
+    long totalInferences() const;
+    /** Mean fraction of wave slots holding a genome. */
+    double meanOccupancy() const;
+    /**
+     * Useful work / lockstep-slot work: 1.0 when every genome in a
+     * wave runs episodes of equal length, lower when short episodes
+     * idle behind the wave's longest one.
+     */
+    double lockstepEfficiency() const;
+};
+
+/** Engine configuration. */
+struct EvalEngineConfig
+{
+    /** Table I environment name; each worker gets its own instance. */
+    std::string envName = "CartPole_v0";
+    /** Worker threads (caller included). 0 = hardware concurrency. */
+    int numThreads = 1;
+    /** Episodes per genome evaluation. */
+    int episodes = 1;
+    /**
+     * Genomes per EvE PE-array wave for the batch statistics.
+     * 0 = the whole generation fits one wave.
+     */
+    int waveWidth = 0;
+};
+
+/**
+ * Persistent batch evaluator: construct once per run, submit one
+ * generation at a time.
+ */
+class EvalEngine
+{
+  public:
+    /** Maps (genomeKey, episode index) to an episode seed. */
+    using SeedFn = std::function<uint64_t(int genomeKey, int episode)>;
+
+    explicit EvalEngine(EvalEngineConfig cfg);
+
+    /**
+     * Evaluate one generation's genomes concurrently. Results are
+     * returned in submission order regardless of which worker ran
+     * which genome; given the same seeds they are bit-identical
+     * across thread counts.
+     */
+    std::vector<GenomeEvalResult>
+    evaluateGeneration(const std::vector<neat::GenomeHandle> &batch,
+                       const neat::NeatConfig &cfg,
+                       const SeedFn &seedFor);
+
+    /**
+     * SplitMix-style per-(genome, episode) seed mixer: two chained
+     * deriveSeed() (SplitMix64 finalizer) rounds, one per coordinate.
+     */
+    static uint64_t mixSeed(uint64_t base, uint64_t genomeKey,
+                            uint64_t episode);
+
+    /**
+     * The default seed policy: every genome sees the same episode
+     * seeds (the paper's level playing field — the population is
+     * ranked on identical episode sets).
+     */
+    static SeedFn sharedEpisodeSeeds(uint64_t base);
+
+    /**
+     * Independent episodes per genome via mixSeed — for stochastic
+     * fitness averaging where correlated episodes are undesirable.
+     */
+    static SeedFn perGenomeSeeds(uint64_t base);
+
+    /** Wave mapping of the most recent batch. */
+    const BatchStats &lastBatchStats() const { return lastBatch_; }
+
+    int numThreads() const { return pool_.size(); }
+    int episodes() const { return cfg_.episodes; }
+    const EvalEngineConfig &config() const { return cfg_; }
+
+  private:
+    EvalEngineConfig cfg_;
+    ThreadPool pool_;
+    EnvPool envs_;
+    BatchStats lastBatch_;
+};
+
+} // namespace genesys::exec
+
+#endif // GENESYS_EXEC_EVAL_ENGINE_HH

@@ -1,0 +1,119 @@
+#include "exec/thread_pool.hh"
+
+#include <algorithm>
+
+namespace genesys::exec
+{
+
+int
+ThreadPool::resolveThreads(int requested)
+{
+    if (requested > 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::max(1, static_cast<int>(hw));
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    const int n = resolveThreads(threads);
+    threads_.reserve(static_cast<std::size_t>(n - 1));
+    for (int w = 1; w < n; ++w)
+        threads_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::drain(int worker)
+{
+    // jobCount_/jobBody_ are written under the mutex before jobId_
+    // advances and read here after observing that advance (or, for
+    // the caller, in its own posting frame), so the reads are ordered.
+    const std::size_t count = jobCount_;
+    for (;;) {
+        const std::size_t item =
+            cursor_.fetch_add(1, std::memory_order_relaxed);
+        if (item >= count)
+            break;
+        jobBody_(item, worker);
+    }
+}
+
+void
+ThreadPool::workerLoop(int worker)
+{
+    std::size_t last_job = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return stopping_ || jobId_ != last_job;
+            });
+            if (stopping_)
+                return;
+            last_job = jobId_;
+            ++busyWorkers_;
+        }
+        // A worker that wakes after the job already drained simply
+        // claims no items; jobBody_ stays valid until the next post.
+        drain(worker);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--busyWorkers_ == 0)
+                done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t, int)> &body)
+{
+    if (count == 0)
+        return;
+
+    // Single-threaded pool: run inline, no synchronization at all.
+    if (threads_.empty()) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i, 0);
+        return;
+    }
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        // A worker that woke late for the *previous* job may still be
+        // inside drain() (claiming no items, since that cursor is
+        // exhausted). Wait for it before touching job state, so
+        // jobCount_/jobBody_ are never written while any worker reads
+        // them.
+        done_.wait(lock, [&] { return busyWorkers_ == 0; });
+        jobCount_ = count;
+        jobBody_ = body;
+        cursor_.store(0, std::memory_order_relaxed);
+        ++jobId_;
+    }
+    wake_.notify_all();
+
+    // The caller participates as worker 0.
+    drain(0);
+
+    // cursor >= count here, so every item was claimed; wait for the
+    // workers still executing their claimed items to finish. (A
+    // worker that never woke for this job can still register later —
+    // it claims no items, and the pre-post wait above keeps it from
+    // racing the next job's state.)
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return busyWorkers_ == 0; });
+}
+
+} // namespace genesys::exec

@@ -50,11 +50,38 @@ Population::collectStats(const EvolutionTrace *trace) const
 bool
 Population::step(const FitnessFn &fitness)
 {
+    // Scalar fallback: adapt to the batched path one genome at a
+    // time, preserving ascending-key evaluation order.
+    return stepBatch([&fitness](const std::vector<GenomeHandle> &batch) {
+        std::vector<double> out;
+        out.reserve(batch.size());
+        for (const GenomeHandle &h : batch)
+            out.push_back(fitness(*h.genome));
+        return out;
+    });
+}
+
+bool
+Population::stepBatch(const BatchFitnessFn &fitness)
+{
     // Evaluate every genome (on the SoC: steps 1-6 of the
-    // walkthrough, leveraging population-level parallelism).
-    for (auto &[gk, g] : population_) {
+    // walkthrough, leveraging population-level parallelism). The
+    // whole unevaluated generation goes to the callback as one
+    // batch, in ascending key order.
+    std::vector<GenomeHandle> batch;
+    batch.reserve(population_.size());
+    for (const auto &[gk, g] : population_) {
         if (!g.hasFitness())
-            g.setFitness(fitness(g));
+            batch.push_back({gk, &g});
+    }
+    if (!batch.empty()) {
+        const std::vector<double> fits = fitness(batch);
+        GENESYS_ASSERT(fits.size() == batch.size(),
+                       "batch fitness returned "
+                           << fits.size() << " values for "
+                           << batch.size() << " genomes");
+        for (size_t i = 0; i < batch.size(); ++i)
+            population_.at(batch[i].key).setFitness(fits[i]);
     }
 
     // Record stats for this generation; the trace that *created* it
@@ -87,8 +114,7 @@ Population::step(const FitnessFn &fitness)
     }
     population_ = std::move(next);
     traces_.push_back(std::move(trace_out));
-    if (traces_.size() > traceWindow_)
-        traces_.erase(traces_.begin());
+    trimTraces();
 
     ++generation_;
     speciesSet_.speciate(population_, generation_);
@@ -98,9 +124,23 @@ Population::step(const FitnessFn &fitness)
 RunResult
 Population::run(const FitnessFn &fitness, int max_generations)
 {
+    return runBatch(
+        [&fitness](const std::vector<GenomeHandle> &batch) {
+            std::vector<double> out;
+            out.reserve(batch.size());
+            for (const GenomeHandle &h : batch)
+                out.push_back(fitness(*h.genome));
+            return out;
+        },
+        max_generations);
+}
+
+RunResult
+Population::runBatch(const BatchFitnessFn &fitness, int max_generations)
+{
     RunResult result;
     for (int i = 0; i < max_generations; ++i) {
-        if (step(fitness)) {
+        if (stepBatch(fitness)) {
             result.solved = true;
             break;
         }

@@ -53,15 +53,38 @@ struct RunResult
 };
 
 /**
+ * A handle into the population: the genome's key plus a borrowed
+ * pointer, valid for the duration of one batch-evaluation call.
+ */
+struct GenomeHandle
+{
+    int key = -1;
+    const Genome *genome = nullptr;
+};
+
+/**
  * A NEAT population. Fitness evaluation is supplied by the caller as
  * a callback (in GeneSys, that callback is ADAM + the environment
- * instances; see core/genesys.hh).
+ * instances; see core/genesys.hh). Two callback shapes exist: the
+ * scalar FitnessFn (one genome at a time — the simple fallback) and
+ * the batched BatchFitnessFn, which receives the whole unevaluated
+ * generation at once so the caller can fan it out across workers
+ * (exec::EvalEngine) the way GeneSys streams the population through
+ * the PE array.
  */
 class Population
 {
   public:
     /** Per-genome fitness function. */
     using FitnessFn = std::function<double(const Genome &)>;
+
+    /**
+     * Whole-generation fitness function: receives every unevaluated
+     * genome (in ascending key order) and must return one fitness
+     * per handle, in the same order.
+     */
+    using BatchFitnessFn = std::function<std::vector<double>(
+        const std::vector<GenomeHandle> &)>;
 
     Population(const NeatConfig &cfg, uint64_t seed);
 
@@ -72,8 +95,18 @@ class Population
      */
     bool step(const FitnessFn &fitness);
 
+    /**
+     * Like step(), but hands the whole unevaluated generation to the
+     * callback in one batch (population-level parallelism).
+     */
+    bool stepBatch(const BatchFitnessFn &fitness);
+
     /** Run up to `max_generations` steps or until solved. */
     RunResult run(const FitnessFn &fitness, int max_generations);
+
+    /** Batched variant of run(). */
+    RunResult runBatch(const BatchFitnessFn &fitness,
+                       int max_generations);
 
     // --- inspection -----------------------------------------------------
     const std::map<int, Genome> &genomes() const { return population_; }
@@ -90,14 +123,32 @@ class Population
     const Genome &bestGenome() const { return bestGenome_; }
     bool hasBest() const { return hasBest_; }
 
-    /** Keep only the last `n` traces (bounds memory on long runs). */
-    void setTraceWindow(size_t n) { traceWindow_ = n; }
+    /**
+     * Keep only the last `n` traces (bounds memory on long runs).
+     * Takes effect immediately and is enforced after every step().
+     */
+    void
+    setTraceWindow(size_t n)
+    {
+        traceWindow_ = n;
+        trimTraces();
+    }
 
     XorWow &rng() { return rng_; }
 
   private:
     GenerationStats
     collectStats(const EvolutionTrace *trace) const;
+
+    /** Drop the oldest traces until at most traceWindow_ remain. */
+    void
+    trimTraces()
+    {
+        if (traces_.size() > traceWindow_)
+            traces_.erase(traces_.begin(),
+                          traces_.end() -
+                              static_cast<std::ptrdiff_t>(traceWindow_));
+    }
 
     NeatConfig cfg_;
     Reproduction reproduction_;
