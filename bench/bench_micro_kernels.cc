@@ -7,8 +7,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <bit>
+
+#include "common/logging.hh"
 #include "hw/eve_pe.hh"
 #include "hw/gene_split.hh"
+#include "nn/compiled_plan.hh"
 #include "nn/levelize.hh"
 
 using namespace genesys;
@@ -35,6 +39,78 @@ grownGenome(const NeatConfig &cfg, int mutations, uint64_t seed)
     for (int i = 0; i < mutations; ++i)
         g.mutate(cfg, idx, rng);
     return g;
+}
+
+/**
+ * Dense genome with exactly `hidden` hidden nodes in one layer
+ * (inputs -> hidden -> outputs, fully connected), random weights.
+ * The interpreter-vs-compiled comparison runs on this shape so the
+ * "64-hidden-node genome" speedup claim is pinned to a known
+ * topology rather than whatever mutation happened to grow.
+ */
+Genome
+denseGenome(const NeatConfig &cfg, int hidden, uint64_t seed)
+{
+    XorWow rng(seed);
+    Genome g(0);
+    for (int o = 0; o < cfg.numOutputs; ++o) {
+        NodeGene n;
+        n.key = o;
+        n.bias = rng.gaussian();
+        g.mutableNodes().emplace(o, n);
+    }
+    for (int h = 0; h < hidden; ++h) {
+        const int key = cfg.numOutputs + h;
+        NodeGene n;
+        n.key = key;
+        n.bias = rng.gaussian();
+        g.mutableNodes().emplace(key, n);
+        for (int i = 0; i < cfg.numInputs; ++i) {
+            ConnectionGene c;
+            c.key = {-i - 1, key};
+            c.weight = rng.gaussian();
+            g.mutableConnections().emplace(c.key, c);
+        }
+        for (int o = 0; o < cfg.numOutputs; ++o) {
+            ConnectionGene c;
+            c.key = {key, o};
+            c.weight = rng.gaussian();
+            g.mutableConnections().emplace(c.key, c);
+        }
+    }
+    return g;
+}
+
+/**
+ * Bit-for-bit output equality between the interpreter and the
+ * compiled plan — the differential contract, re-checked in the bench
+ * binary itself so the speedup numbers are only ever printed for
+ * matching paths.
+ */
+void
+assertPathsMatch(const nn::FeedForwardNetwork &net,
+                 const nn::CompiledPlan &plan, const NeatConfig &cfg,
+                 uint64_t seed)
+{
+    XorWow rng(seed);
+    nn::PlanScratch scratch;
+    for (int t = 0; t < 16; ++t) {
+        std::vector<double> in(static_cast<size_t>(cfg.numInputs));
+        for (auto &x : in)
+            x = rng.uniform(-3.0, 3.0);
+        const auto expect = net.activate(in);
+        plan.activate(in, scratch);
+        GENESYS_ASSERT(scratch.outputs.size() == expect.size(),
+                       "output count mismatch");
+        for (size_t o = 0; o < expect.size(); ++o) {
+            GENESYS_ASSERT(
+                std::bit_cast<uint64_t>(scratch.outputs[o]) ==
+                    std::bit_cast<uint64_t>(expect[o]),
+                "interpreter/compiled outputs diverge at output "
+                    << o << ": " << expect[o] << " vs "
+                    << scratch.outputs[o]);
+        }
+    }
 }
 
 } // namespace
@@ -98,6 +174,167 @@ BM_NetworkActivate(benchmark::State &state)
         net.macsPerInference());
 }
 BENCHMARK(BM_NetworkActivate)->Arg(4)->Arg(24)->Arg(128);
+
+// --- interpreter vs compiled plan -------------------------------------------
+// All comparisons run on the same 64-hidden-node dense genome
+// (8 inputs, 4 outputs, 768 connections) and assert bit-identical
+// outputs before timing anything.
+//
+// Two views, both printing steps/s as items_per_second:
+//
+//  * BM_ActivateStep*: one warm forward pass. Both paths pay the same
+//    irreducible math (libm exp per sigmoid node, per-node ordered
+//    accumulation — fixed by the bit-identity contract), so this
+//    isolates interpreter overhead only.
+//
+//  * BM_EvalPath*: what a genome actually costs per generation in the
+//    engine — the per-genome phenotype work plus `steps` forward
+//    passes. The interpreter path is the seed hot path:
+//    FeedForwardNetwork::create per evaluation (env/runner.cc) plus
+//    the separate nn::levelize the System ran per genome for the
+//    hardware model (core/genesys.cc). The compiled path is one
+//    CompiledPlan::compile, cached per generation, whose schedule()
+//    replaces the levelize call outright. The Arg is the episode
+//    length; CartPole episodes run ~10-60 steps for most of a run
+//    (the 200-step cap is only reached by solved policies).
+
+constexpr int kCmpInputs = 8;
+constexpr int kCmpHidden = 64;
+constexpr int kCmpOutputs = 4;
+constexpr uint64_t kCmpSeed = 42;
+
+static void
+BM_ActivateStepInterpreter64Hidden(benchmark::State &state)
+{
+    const auto cfg = benchConfig(kCmpInputs, kCmpOutputs);
+    const auto g = denseGenome(cfg, kCmpHidden, kCmpSeed);
+    const auto net = nn::FeedForwardNetwork::create(g, cfg);
+    const auto plan = nn::CompiledPlan::compile(g, cfg);
+    assertPathsMatch(net, plan, cfg, kCmpSeed + 1);
+
+    std::vector<double> inputs(net.numInputs(), 0.5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(net.activate(inputs));
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations())); // steps/s
+    state.counters["macs_per_step"] =
+        static_cast<double>(net.macsPerInference());
+}
+BENCHMARK(BM_ActivateStepInterpreter64Hidden);
+
+static void
+BM_ActivateStepCompiled64Hidden(benchmark::State &state)
+{
+    const auto cfg = benchConfig(kCmpInputs, kCmpOutputs);
+    const auto g = denseGenome(cfg, kCmpHidden, kCmpSeed);
+    const auto net = nn::FeedForwardNetwork::create(g, cfg);
+    const auto plan = nn::CompiledPlan::compile(g, cfg);
+    assertPathsMatch(net, plan, cfg, kCmpSeed + 1);
+
+    std::vector<double> inputs(plan.numInputs(), 0.5);
+    nn::PlanScratch scratch;
+    for (auto _ : state) {
+        plan.activate(inputs, scratch);
+        benchmark::DoNotOptimize(scratch.outputs.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations())); // steps/s
+    state.counters["macs_per_step"] =
+        static_cast<double>(plan.macsPerInference());
+}
+BENCHMARK(BM_ActivateStepCompiled64Hidden);
+
+static void
+BM_EvalPathInterpreter64Hidden(benchmark::State &state)
+{
+    const auto cfg = benchConfig(kCmpInputs, kCmpOutputs);
+    const auto g = denseGenome(cfg, kCmpHidden, kCmpSeed);
+    {
+        const auto net = nn::FeedForwardNetwork::create(g, cfg);
+        const auto plan = nn::CompiledPlan::compile(g, cfg);
+        assertPathsMatch(net, plan, cfg, kCmpSeed + 1);
+    }
+    const auto steps = static_cast<int>(state.range(0));
+    std::vector<double> inputs(static_cast<size_t>(kCmpInputs), 0.5);
+    for (auto _ : state) {
+        // The seed per-genome work: rebuild the phenotype, levelize
+        // separately for the hardware model, then run the episode.
+        const auto net = nn::FeedForwardNetwork::create(g, cfg);
+        const auto sched = nn::levelize(g, cfg);
+        benchmark::DoNotOptimize(sched.totalMacs());
+        for (int s = 0; s < steps; ++s)
+            benchmark::DoNotOptimize(net.activate(inputs));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            steps); // steps/s
+}
+BENCHMARK(BM_EvalPathInterpreter64Hidden)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+
+static void
+BM_EvalPathCompiled64Hidden(benchmark::State &state)
+{
+    const auto cfg = benchConfig(kCmpInputs, kCmpOutputs);
+    const auto g = denseGenome(cfg, kCmpHidden, kCmpSeed);
+    {
+        const auto net = nn::FeedForwardNetwork::create(g, cfg);
+        const auto plan = nn::CompiledPlan::compile(g, cfg);
+        assertPathsMatch(net, plan, cfg, kCmpSeed + 1);
+    }
+    const auto steps = static_cast<int>(state.range(0));
+    std::vector<double> inputs(static_cast<size_t>(kCmpInputs), 0.5);
+    nn::PlanScratch scratch;
+    for (auto _ : state) {
+        // The compiled per-genome work: one compile (the plan cache
+        // guarantees it runs once per generation); schedule() is a
+        // field read, not a second graph walk.
+        const auto plan = nn::CompiledPlan::compile(g, cfg);
+        benchmark::DoNotOptimize(plan.schedule().totalMacs());
+        for (int s = 0; s < steps; ++s) {
+            plan.activate(inputs, scratch);
+            benchmark::DoNotOptimize(scratch.outputs.data());
+        }
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            steps); // steps/s
+}
+BENCHMARK(BM_EvalPathCompiled64Hidden)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+
+static void
+BM_ActivateCompiledGrown(benchmark::State &state)
+{
+    // The compiled path on the same mutation-grown genomes
+    // BM_NetworkActivate runs, for a like-for-like comparison at
+    // every size.
+    const auto cfg = benchConfig(static_cast<int>(state.range(0)), 4);
+    const auto g = grownGenome(cfg, 20, 8);
+    const auto net = nn::FeedForwardNetwork::create(g, cfg);
+    const auto plan = nn::CompiledPlan::compile(g, cfg);
+    assertPathsMatch(net, plan, cfg, 8);
+
+    std::vector<double> inputs(plan.numInputs(), 0.5);
+    nn::PlanScratch scratch;
+    for (auto _ : state) {
+        plan.activate(inputs, scratch);
+        benchmark::DoNotOptimize(scratch.outputs.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        plan.macsPerInference());
+}
+BENCHMARK(BM_ActivateCompiledGrown)->Arg(4)->Arg(24)->Arg(128);
+
+static void
+BM_CompilePlan(benchmark::State &state)
+{
+    const auto cfg = benchConfig(static_cast<int>(state.range(0)), 4);
+    const auto g = grownGenome(cfg, 20, 9);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(nn::CompiledPlan::compile(g, cfg));
+}
+BENCHMARK(BM_CompilePlan)->Arg(4)->Arg(128);
 
 static void
 BM_NetworkCreate(benchmark::State &state)

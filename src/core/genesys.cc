@@ -1,7 +1,7 @@
 #include "core/genesys.hh"
 
 #include "common/logging.hh"
-#include "nn/levelize.hh"
+#include "nn/compiled_plan.hh"
 
 namespace genesys::core
 {
@@ -82,7 +82,11 @@ System::stepGeneration()
                 if (cfg_.simulateHardware) {
                     const neat::Genome &g = *batch[i].genome;
                     hw::GenomeInferenceWork w;
-                    w.schedule = nn::levelize(g, neatCfg_);
+                    // The levelized schedule comes from the same
+                    // compiled plan that executed the episodes, so
+                    // the ADAM cost model and the software path agree
+                    // by construction.
+                    w.schedule = results[i].plan->schedule();
                     w.inferences = d.inferences;
                     compact_cells +=
                         static_cast<double>(w.schedule.denseCells());
@@ -156,10 +160,11 @@ env::EpisodeResult
 System::replayBest(uint64_t seed)
 {
     GENESYS_ASSERT(population_->hasBest(), "no best genome yet");
-    const auto net = nn::FeedForwardNetwork::create(
-        population_->bestGenome(), neatCfg_);
+    const auto plan =
+        nn::CompiledPlan::compile(population_->bestGenome(), neatCfg_);
+    nn::PlanScratch scratch;
     env::EpisodeRunner runner(*env_, seed, 1);
-    return runner.runEpisode(net, seed);
+    return runner.runEpisode(plan, scratch, seed);
 }
 
 } // namespace genesys::core

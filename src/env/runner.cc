@@ -13,28 +13,62 @@
 namespace genesys::env
 {
 
+namespace
+{
+
+/**
+ * The episode loop, parameterized over the policy: `act(obs)` returns
+ * the network outputs for one observation (by value for the
+ * interpreter, by reference into the scratch for compiled plans).
+ */
+template <typename ActFn>
 EpisodeResult
-EpisodeRunner::runEpisode(const nn::FeedForwardNetwork &net, uint64_t seed)
+runEpisodeWith(Environment &env, uint64_t seed, long macs_per_step,
+               ActFn &&act)
 {
     EpisodeResult result;
-    const ActionSpace space = env_->actionSpace();
-    const long macs_per_step = net.macsPerInference();
+    const ActionSpace space = env.actionSpace();
 
-    std::vector<double> obs = env_->reset(seed);
+    std::vector<double> obs = env.reset(seed);
     bool done = false;
     while (!done) {
-        const std::vector<double> outputs = net.activate(obs);
+        const std::vector<double> &outputs = act(obs);
         const Action action = decodeAction(space, outputs);
-        StepResult sr = env_->step(action);
+        StepResult sr = env.step(action);
         obs = std::move(sr.observation);
         done = sr.done;
     }
-    result.cumulativeReward = env_->cumulativeReward();
-    result.fitness = env_->episodeFitness();
-    result.steps = env_->stepsTaken();
+    result.cumulativeReward = env.cumulativeReward();
+    result.fitness = env.episodeFitness();
+    result.steps = env.stepsTaken();
     result.inferences = result.steps; // one forward pass per step
     result.macs = macs_per_step * result.inferences;
     return result;
+}
+
+} // namespace
+
+EpisodeResult
+EpisodeRunner::runEpisode(const nn::FeedForwardNetwork &net, uint64_t seed)
+{
+    return runEpisodeWith(
+        *env_, seed, net.macsPerInference(),
+        [&net](const std::vector<double> &obs) {
+            return net.activate(obs);
+        });
+}
+
+EpisodeResult
+EpisodeRunner::runEpisode(const nn::CompiledPlan &plan,
+                          nn::PlanScratch &scratch, uint64_t seed)
+{
+    return runEpisodeWith(
+        *env_, seed, plan.macsPerInference(),
+        [&plan, &scratch](const std::vector<double> &obs)
+            -> const std::vector<double> & {
+            plan.activate(obs, scratch);
+            return scratch.outputs;
+        });
 }
 
 double
@@ -51,20 +85,22 @@ EpisodeRunner::evaluate(const neat::Genome &genome,
     return total / static_cast<double>(episodes_);
 }
 
+namespace
+{
+
+/** Accumulate an EvalDetail: `episode(seed)` runs one episode. */
+template <typename EpisodeFn>
 EvalDetail
-EpisodeRunner::evaluateDetailed(const neat::Genome &genome,
-                                const neat::NeatConfig &cfg,
-                                const std::vector<uint64_t> &episodeSeeds)
+evaluateDetailedWith(const std::vector<uint64_t> &episodeSeeds,
+                     EpisodeFn &&episode)
 {
     GENESYS_ASSERT(!episodeSeeds.empty(),
                    "evaluateDetailed needs at least one episode seed");
-    const auto net = nn::FeedForwardNetwork::create(genome, cfg);
-
     EvalDetail detail;
     detail.episodes.reserve(episodeSeeds.size());
     double total = 0.0;
     for (uint64_t seed : episodeSeeds) {
-        EpisodeResult res = runEpisode(net, seed);
+        EpisodeResult res = episode(seed);
         total += res.fitness;
         detail.inferences += res.inferences;
         detail.macs += res.macs;
@@ -74,6 +110,29 @@ EpisodeRunner::evaluateDetailed(const neat::Genome &genome,
     }
     detail.fitness = total / static_cast<double>(episodeSeeds.size());
     return detail;
+}
+
+} // namespace
+
+EvalDetail
+EpisodeRunner::evaluateDetailed(const neat::Genome &genome,
+                                const neat::NeatConfig &cfg,
+                                const std::vector<uint64_t> &episodeSeeds)
+{
+    const auto net = nn::FeedForwardNetwork::create(genome, cfg);
+    return evaluateDetailedWith(episodeSeeds, [&](uint64_t seed) {
+        return runEpisode(net, seed);
+    });
+}
+
+EvalDetail
+EpisodeRunner::evaluateDetailed(const nn::CompiledPlan &plan,
+                                const std::vector<uint64_t> &episodeSeeds)
+{
+    nn::PlanScratch scratch; // warmed once, reused by every episode
+    return evaluateDetailedWith(episodeSeeds, [&](uint64_t seed) {
+        return runEpisode(plan, scratch, seed);
+    });
 }
 
 neat::NeatConfig

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "env/env.hh"
+#include "nn/compiled_plan.hh"
 #include "nn/feedforward.hh"
 
 namespace genesys::env
@@ -81,9 +82,21 @@ class EpisodeRunner
     {
     }
 
-    /** Run one episode with an explicit seed. */
+    /**
+     * Run one episode with an explicit seed through the interpreter
+     * phenotype (the reference implementation).
+     */
     EpisodeResult runEpisode(const nn::FeedForwardNetwork &net,
                              uint64_t seed);
+
+    /**
+     * Run one episode through a compiled plan — the fast path. The
+     * plan is read-only shared state; all mutable evaluation state
+     * lives in `scratch`, so concurrent runners can share one plan.
+     * Bit-identical to the interpreter overload.
+     */
+    EpisodeResult runEpisode(const nn::CompiledPlan &plan,
+                             nn::PlanScratch &scratch, uint64_t seed);
 
     /**
      * Evaluate a genome: mean fitness over the configured episode
@@ -96,10 +109,19 @@ class EpisodeRunner
      * Evaluate a genome over explicit per-episode seeds, keeping the
      * per-episode results and workload totals the hardware model
      * needs. Reads only the genome/config and mutates only the
-     * runner's environment.
+     * runner's environment. Builds the interpreter phenotype — the
+     * reference path the compiled plans are diffed against.
      */
     EvalDetail evaluateDetailed(const neat::Genome &genome,
                                 const neat::NeatConfig &cfg,
+                                const std::vector<uint64_t> &episodeSeeds);
+
+    /**
+     * Evaluate an already-compiled plan over explicit per-episode
+     * seeds — the engine's hot path: one plan, many episodes, one
+     * scratch, zero phenotype rebuilds.
+     */
+    EvalDetail evaluateDetailed(const nn::CompiledPlan &plan,
                                 const std::vector<uint64_t> &episodeSeeds);
 
     /** Change the episode seeds (e.g. per generation). */

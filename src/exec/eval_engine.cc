@@ -92,10 +92,18 @@ EvalEngine::evaluateGeneration(const std::vector<neat::GenomeHandle> &batch,
 {
     std::vector<GenomeEvalResult> results(batch.size());
 
+    // New generation, new plans: dropping the old entries bounds the
+    // cache at the batch size — no leak across generations.
+    planCache_.beginGeneration();
+
     // Fan the genomes out. Each item touches only its own results
     // slot and the worker's private environment, so the hot loop is
-    // lock-free; writing by index makes the output order (and hence
-    // every downstream consumer) independent of work stealing.
+    // lock-free (the plan cache takes a brief lock per genome, once,
+    // outside the episode loop); writing by index makes the output
+    // order (and hence every downstream consumer) independent of work
+    // stealing. Each genome is compiled exactly once and the
+    // resulting immutable plan is shared read-only by all of its
+    // episodes and by workload accounting.
     pool_.parallelFor(
         batch.size(), [&](std::size_t i, int worker) {
             const neat::GenomeHandle &h = batch[i];
@@ -109,7 +117,8 @@ EvalEngine::evaluateGeneration(const std::vector<neat::GenomeHandle> &batch,
                                       cfg_.episodes);
             GenomeEvalResult &out = results[i];
             out.genomeKey = h.key;
-            out.detail = runner.evaluateDetailed(*h.genome, cfg, seeds);
+            out.plan = planCache_.acquire(h.key, *h.genome, cfg);
+            out.detail = runner.evaluateDetailed(*out.plan, seeds);
         });
 
     // Map the batch onto EvE PE-array waves: genomes fill waves in

@@ -29,6 +29,7 @@
 #include "exec/env_pool.hh"
 #include "exec/thread_pool.hh"
 #include "neat/population.hh"
+#include "nn/plan_cache.hh"
 
 namespace genesys::exec
 {
@@ -38,6 +39,13 @@ struct GenomeEvalResult
 {
     int genomeKey = -1;
     env::EvalDetail detail;
+    /**
+     * The compiled plan that executed the episodes — shared with the
+     * engine's per-generation cache. Carries the levelized ADAM
+     * schedule (plan->schedule()) so workload accounting reads the
+     * exact structure the software executed.
+     */
+    std::shared_ptr<const nn::CompiledPlan> plan;
 };
 
 /**
@@ -137,6 +145,13 @@ class EvalEngine
     /** Wave mapping of the most recent batch. */
     const BatchStats &lastBatchStats() const { return lastBatch_; }
 
+    /**
+     * The per-generation plan cache: cleared at the top of every
+     * evaluateGeneration call, so its size is bounded by the
+     * generation's batch size.
+     */
+    const nn::PlanCache &planCache() const { return planCache_; }
+
     int numThreads() const { return pool_.size(); }
     int episodes() const { return cfg_.episodes; }
     const EvalEngineConfig &config() const { return cfg_; }
@@ -146,6 +161,7 @@ class EvalEngine
     ThreadPool pool_;
     EnvPool envs_;
     BatchStats lastBatch_;
+    nn::PlanCache planCache_;
 };
 
 } // namespace genesys::exec

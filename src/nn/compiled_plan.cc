@@ -1,0 +1,332 @@
+#include "nn/compiled_plan.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "neat/activations.hh"
+#include "neat/aggregations.hh"
+
+namespace genesys::nn
+{
+
+namespace
+{
+
+/** One enabled connection, flattened out of the gene map. */
+struct FlatEdge
+{
+    int32_t srcIdx; ///< compressed source index, -1 if out of graph
+    int32_t dstIdx; ///< compressed destination index
+    double weight;
+};
+
+} // namespace
+
+/*
+ * compile() re-implements the analyzeGenome walks over dense
+ * index-compressed arrays instead of std::map adjacency — it runs
+ * once per genome per generation and its cost is the plan cache's
+ * only fixed overhead, so it avoids per-edge map lookups entirely.
+ * The semantics are identical by contract (same required set, same
+ * layers, same slot assignment, same per-node link order); the
+ * differential fuzz harness diffs the result against the
+ * map-based interpreter path bit-for-bit. Requires a structurally
+ * valid genome (no dangling connection endpoints — Genome::validate's
+ * invariant).
+ */
+CompiledPlan
+CompiledPlan::compile(const Genome &genome, const NeatConfig &cfg)
+{
+    CompiledPlan plan;
+    plan.numInputs_ = cfg.numInputs;
+    plan.numOutputs_ = cfg.numOutputs;
+
+    // --- key compression -------------------------------------------------
+    // Index space: inputs -numInputs..-1 first (ascending key), then
+    // every node gene (ascending key; all keys >= 0). The vector is
+    // globally sorted, so lookups are binary searches.
+    const int num_inputs = cfg.numInputs;
+    std::vector<int> keys;
+    std::vector<const neat::NodeGene *> genes;
+    keys.reserve(static_cast<size_t>(num_inputs) +
+                 genome.nodes().size());
+    genes.reserve(keys.capacity());
+    for (int i = num_inputs; i >= 1; --i) {
+        keys.push_back(-i);
+        genes.push_back(nullptr);
+    }
+    for (const auto &[nk, ng] : genome.nodes()) {
+        keys.push_back(nk);
+        genes.push_back(&ng);
+    }
+    const int num_vertices = static_cast<int>(keys.size());
+    const auto index_of = [&keys](int key) -> int32_t {
+        auto it = std::lower_bound(keys.begin(), keys.end(), key);
+        if (it == keys.end() || *it != key)
+            return -1;
+        return static_cast<int32_t>(it - keys.begin());
+    };
+
+    // --- flatten enabled edges -------------------------------------------
+    // The gene map iterates in (src, dst) order, so edges grouped by
+    // destination later come out in ascending source order — the
+    // interpreter's per-node link order, which activate() must
+    // reproduce for bit-identical accumulation.
+    std::vector<FlatEdge> edges;
+    edges.reserve(genome.connections().size());
+    for (const auto &[ck, cg] : genome.connections()) {
+        if (!cg.enabled)
+            continue;
+        const int32_t dst = index_of(ck.second);
+        if (dst < 0)
+            continue; // dangling destination: nothing to evaluate
+        edges.push_back({index_of(ck.first), dst, cg.weight});
+    }
+
+    // --- adjacency (CSR over compressed indices) --------------------------
+    std::vector<int32_t> in_deg(static_cast<size_t>(num_vertices), 0);
+    std::vector<int32_t> out_deg(static_cast<size_t>(num_vertices), 0);
+    for (const FlatEdge &e : edges) {
+        // In-degree counts every enabled in-edge — including ones
+        // from unresolvable sources, which must block the node
+        // forever (they never count down).
+        ++in_deg[static_cast<size_t>(e.dstIdx)];
+        if (e.srcIdx >= 0)
+            ++out_deg[static_cast<size_t>(e.srcIdx)];
+    }
+    std::vector<int32_t> in_off(static_cast<size_t>(num_vertices) + 1, 0);
+    std::vector<int32_t> out_off(static_cast<size_t>(num_vertices) + 1,
+                                 0);
+    for (int v = 0; v < num_vertices; ++v) {
+        in_off[static_cast<size_t>(v) + 1] =
+            in_off[static_cast<size_t>(v)] +
+            in_deg[static_cast<size_t>(v)];
+        out_off[static_cast<size_t>(v) + 1] =
+            out_off[static_cast<size_t>(v)] +
+            out_deg[static_cast<size_t>(v)];
+    }
+    // In-lists keep (source index, weight) in edge order — ascending
+    // source per destination. Out-lists only need targets.
+    std::vector<int32_t> in_src(edges.size());
+    std::vector<double> in_w(edges.size());
+    std::vector<int32_t> out_dst(
+        static_cast<size_t>(out_off[static_cast<size_t>(num_vertices)]));
+    {
+        std::vector<int32_t> in_fill = in_off;
+        std::vector<int32_t> out_fill = out_off;
+        for (const FlatEdge &e : edges) {
+            const auto slot =
+                static_cast<size_t>(in_fill[static_cast<size_t>(e.dstIdx)]++);
+            in_src[slot] = e.srcIdx;
+            in_w[slot] = e.weight;
+            if (e.srcIdx >= 0)
+                out_dst[static_cast<size_t>(
+                    out_fill[static_cast<size_t>(e.srcIdx)]++)] = e.dstIdx;
+        }
+    }
+
+    // --- backward reachability from the outputs ---------------------------
+    // required == analyzeGenome().required: outputs plus every
+    // non-input vertex on an enabled path into them.
+    std::vector<char> required(static_cast<size_t>(num_vertices), 0);
+    std::vector<int32_t> stack;
+    for (int o = 0; o < cfg.numOutputs; ++o) {
+        const int32_t idx = index_of(o);
+        GENESYS_ASSERT(idx >= 0, "output node " << o << " missing gene");
+        required[static_cast<size_t>(idx)] = 1;
+        stack.push_back(idx);
+    }
+    while (!stack.empty()) {
+        const int32_t dst = stack.back();
+        stack.pop_back();
+        for (int32_t e = in_off[static_cast<size_t>(dst)];
+             e < in_off[static_cast<size_t>(dst) + 1]; ++e) {
+            const int32_t src = in_src[static_cast<size_t>(e)];
+            // Inputs (index < numInputs) terminate the walk.
+            if (src >= num_inputs && !required[static_cast<size_t>(src)]) {
+                required[static_cast<size_t>(src)] = 1;
+                stack.push_back(src);
+            }
+        }
+    }
+
+    // --- levelization by in-degree countdown ------------------------------
+    // A required node joins the wave after its last source resolved;
+    // zero-in-edge nodes (in_deg 0) never join, matching
+    // analyzeGenome.
+    std::vector<int32_t> remaining = in_deg;
+    std::vector<int32_t> frontier;
+    for (int i = 0; i < num_inputs; ++i)
+        frontier.push_back(i);
+    std::vector<std::vector<int32_t>> waves;
+    while (!frontier.empty()) {
+        std::vector<int32_t> next;
+        for (int32_t src : frontier) {
+            for (int32_t e = out_off[static_cast<size_t>(src)];
+                 e < out_off[static_cast<size_t>(src) + 1]; ++e) {
+                const int32_t dst = out_dst[static_cast<size_t>(e)];
+                if (required[static_cast<size_t>(dst)] &&
+                    --remaining[static_cast<size_t>(dst)] == 0)
+                    next.push_back(dst);
+            }
+        }
+        // Ascending index == ascending key (keys are sorted), so this
+        // matches the interpreter's within-layer order.
+        std::sort(next.begin(), next.end());
+        if (!next.empty())
+            waves.push_back(next);
+        frontier = std::move(next);
+    }
+
+    // --- lowering: slots, SoA node tables, CSR edges, schedule ------------
+    // Slot assignment matches FeedForwardNetwork::create: input key
+    // -i-1 gets slot i, then layered nodes in emission order.
+    std::vector<int32_t> slot_of(static_cast<size_t>(num_vertices), -1);
+    for (int i = 0; i < num_inputs; ++i)
+        slot_of[static_cast<size_t>(i)] = num_inputs - 1 - i;
+    int32_t next_slot = num_inputs;
+    for (const auto &wave : waves) {
+        for (int32_t idx : wave)
+            slot_of[static_cast<size_t>(idx)] = next_slot++;
+    }
+    plan.numSlots_ = next_slot;
+
+    size_t n_nodes = 0;
+    for (const auto &wave : waves)
+        n_nodes += wave.size();
+    plan.activation_.reserve(n_nodes);
+    plan.aggregation_.reserve(n_nodes);
+    plan.bias_.reserve(n_nodes);
+    plan.response_.reserve(n_nodes);
+    plan.nodeSlot_.reserve(n_nodes);
+    plan.edgeOffset_.reserve(n_nodes + 1);
+    plan.edgeOffset_.push_back(0);
+    plan.layerSpans_.reserve(waves.size());
+    plan.schedule_.layers.reserve(waves.size());
+
+    std::vector<int32_t> layer_sources; // scratch for vectorLen
+    int32_t span_begin = 0;
+    for (const auto &wave : waves) {
+        PackedLayer packed;
+        packed.numNodes = static_cast<int>(wave.size());
+        layer_sources.clear();
+        for (int32_t idx : wave) {
+            const neat::NodeGene *ng = genes[static_cast<size_t>(idx)];
+            GENESYS_ASSERT(ng != nullptr, "layered vertex "
+                                              << keys[static_cast<size_t>(
+                                                     idx)]
+                                              << " missing gene");
+            plan.activation_.push_back(ng->activation);
+            plan.aggregation_.push_back(ng->aggregation);
+            plan.bias_.push_back(ng->bias);
+            plan.response_.push_back(ng->response);
+            plan.nodeSlot_.push_back(slot_of[static_cast<size_t>(idx)]);
+
+            for (int32_t e = in_off[static_cast<size_t>(idx)];
+                 e < in_off[static_cast<size_t>(idx) + 1]; ++e) {
+                const int32_t src = in_src[static_cast<size_t>(e)];
+                ++plan.macs_;
+                ++packed.weights;
+                layer_sources.push_back(src);
+                const int32_t src_slot =
+                    src >= 0 ? slot_of[static_cast<size_t>(src)] : -1;
+                if (src_slot < 0 &&
+                    ng->aggregation == neat::Aggregation::Sum)
+                    continue; // see edgeSrc_ docs
+                plan.edgeSrc_.push_back(src_slot);
+                plan.edgeWeight_.push_back(in_w[static_cast<size_t>(e)]);
+            }
+            plan.edgeOffset_.push_back(
+                static_cast<int32_t>(plan.edgeSrc_.size()));
+        }
+        const auto span_end =
+            span_begin + static_cast<int32_t>(wave.size());
+        plan.layerSpans_.push_back({span_begin, span_end});
+        span_begin = span_end;
+
+        // Packed input vector length: distinct sources feeding the
+        // layer (levelize's vectorLen).
+        std::sort(layer_sources.begin(), layer_sources.end());
+        packed.vectorLen = static_cast<int>(
+            std::unique(layer_sources.begin(), layer_sources.end()) -
+            layer_sources.begin());
+        plan.schedule_.layers.push_back(packed);
+    }
+
+    plan.outputSlot_.assign(static_cast<size_t>(cfg.numOutputs), -1);
+    for (int o = 0; o < cfg.numOutputs; ++o) {
+        const int32_t idx = index_of(o);
+        if (idx >= 0)
+            plan.outputSlot_[static_cast<size_t>(o)] =
+                slot_of[static_cast<size_t>(idx)];
+    }
+    return plan;
+}
+
+void
+CompiledPlan::activate(const std::vector<double> &inputs,
+                       PlanScratch &scratch) const
+{
+    GENESYS_ASSERT(inputs.size() == static_cast<size_t>(numInputs_),
+                   "expected " << numInputs_ << " inputs, got "
+                               << inputs.size());
+
+    // No zero-fill: every slot read below is an input slot or the
+    // destination of an earlier node, both written before the read
+    // (out-of-graph sources are either compiled out or sentinels).
+    scratch.values.resize(static_cast<size_t>(numSlots_));
+    scratch.outputs.resize(static_cast<size_t>(numOutputs_));
+
+    // Raw pointers hoisted out of the loop: scratch escapes into
+    // neat::aggregate on the generic path, so indexing through the
+    // vectors would force the compiler to reload data pointers after
+    // every opaque call in the hot loop.
+    double *const values = scratch.values.data();
+    std::copy(inputs.begin(), inputs.end(), values);
+    const double *const w = edgeWeight_.data();
+    const int32_t *const src = edgeSrc_.data();
+    const int32_t *const offs = edgeOffset_.data();
+    const int32_t *const slot_of = nodeSlot_.data();
+    const neat::Activation *const act = activation_.data();
+    const neat::Aggregation *const agg = aggregation_.data();
+    const double *const bias = bias_.data();
+    const double *const response = response_.data();
+
+    const int n_nodes = static_cast<int>(nodeSlot_.size());
+    for (int n = 0; n < n_nodes; ++n) {
+        const int32_t e0 = offs[n];
+        const int32_t e1 = offs[n + 1];
+        double pre;
+        if (agg[n] == neat::Aggregation::Sum) {
+            double acc = 0.0;
+            for (int32_t e = e0; e < e1; ++e)
+                acc += values[src[e]] * w[e];
+            pre = acc;
+        } else {
+            scratch.weighted.clear();
+            for (int32_t e = e0; e < e1; ++e) {
+                scratch.weighted.push_back(
+                    (src[e] >= 0 ? values[src[e]] : 0.0) * w[e]);
+            }
+            pre = neat::aggregate(agg[n], scratch.weighted);
+        }
+        values[slot_of[n]] =
+            neat::activate(act[n], bias[n] + response[n] * pre);
+    }
+
+    double *const outputs = scratch.outputs.data();
+    for (int o = 0; o < numOutputs_; ++o) {
+        const int32_t slot = outputSlot_[static_cast<size_t>(o)];
+        outputs[o] = slot >= 0 ? values[slot] : 0.0;
+    }
+}
+
+std::vector<double>
+CompiledPlan::activate(const std::vector<double> &inputs) const
+{
+    PlanScratch scratch;
+    activate(inputs, scratch);
+    return std::move(scratch.outputs);
+}
+
+} // namespace genesys::nn

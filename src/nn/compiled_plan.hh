@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Compiled phenotype plans: the flat vectorized inference path.
+ *
+ * The paper's premise is that NEAT inference "is basically processing
+ * an acyclic directed graph" and that ADAM's vectorize routine packs
+ * ready vertices into dense matrix-vector products (Section IV-D). A
+ * CompiledPlan is the software mirror of that lowering: a genome is
+ * compiled **once** into flat contiguous arrays — slot-indexed
+ * values, levelized layer spans, CSR-style weight/source arrays, and
+ * per-node activation/bias/response tables — and activate() executes
+ * the levelized layers as dense inner loops with no maps, no
+ * allocation, and a caller-provided scratch buffer.
+ *
+ * A plan is immutable after compile(), so it is safe to share
+ * read-only across exec::EvalEngine workers; all mutable state lives
+ * in the caller's PlanScratch. Outputs are bit-identical to the
+ * FeedForwardNetwork interpreter (the reference implementation): the
+ * plan preserves the interpreter's node order, per-node link order
+ * and accumulation order exactly, which the differential fuzz harness
+ * in tests/test_compiled_plan.cc locks down.
+ *
+ * Recurrent genomes: plans implement feed-forward semantics. A genome
+ * containing cycles compiles to the same phenotype the feed-forward
+ * interpreter builds — cycle members never become "ready", so they
+ * (and everything downstream) stay unevaluated and read as 0.
+ * Stateful recurrent evaluation (NeatConfig::feedForward == false
+ * runs that carry node state across ticks) stays on the
+ * nn::RecurrentNetwork interpreter; that path is the documented
+ * fallback and is not routed through plans.
+ */
+
+#ifndef GENESYS_NN_COMPILED_PLAN_HH
+#define GENESYS_NN_COMPILED_PLAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/feedforward.hh"
+#include "nn/levelize.hh"
+
+namespace genesys::nn
+{
+
+/**
+ * Caller-owned mutable state for CompiledPlan::activate. Reusing one
+ * scratch across calls makes the hot loop allocation-free after the
+ * first activation; a scratch may be moved between plans (buffers
+ * are resized on entry) but must not be shared across threads.
+ */
+struct PlanScratch
+{
+    /** Dense value slots: inputs first, then evaluated nodes. */
+    std::vector<double> values;
+    /** Weighted-input staging for non-Sum aggregations. */
+    std::vector<double> weighted;
+    /** Output activations of the most recent activate() call. */
+    std::vector<double> outputs;
+};
+
+/** A genome lowered to flat arrays, executable without the genome. */
+class CompiledPlan
+{
+  public:
+    /** Node-index range [begin, end) of one topological layer. */
+    struct LayerSpan
+    {
+        int32_t begin = 0;
+        int32_t end = 0;
+    };
+
+    /** Lower `genome` into a flat execution plan. */
+    static CompiledPlan compile(const Genome &genome,
+                                const NeatConfig &cfg);
+
+    /**
+     * Evaluate the plan: runs every levelized layer as a dense inner
+     * loop over the CSR edge arrays. Leaves the outputs in
+     * `scratch.outputs`. Allocation-free once `scratch` has warmed
+     * up. Thread-safe for concurrent callers with distinct scratches.
+     */
+    void activate(const std::vector<double> &inputs,
+                  PlanScratch &scratch) const;
+
+    /** Convenience form: allocates a scratch and returns the outputs. */
+    std::vector<double> activate(const std::vector<double> &inputs) const;
+
+    size_t numInputs() const { return static_cast<size_t>(numInputs_); }
+    size_t numOutputs() const
+    {
+        return static_cast<size_t>(numOutputs_);
+    }
+    /** Value slots (inputs + evaluated nodes). */
+    int numSlots() const { return numSlots_; }
+    /** Evaluated (layered) nodes. */
+    int numNodes() const
+    {
+        return static_cast<int>(nodeSlot_.size());
+    }
+
+    /**
+     * Multiply-accumulates per activate() call — counts every enabled
+     * inbound edge of a layered node, matching
+     * FeedForwardNetwork::macsPerInference and the schedule's
+     * totalMacs.
+     */
+    long macsPerInference() const { return macs_; }
+
+    /**
+     * The ADAM inference schedule derived from the *same* levelized
+     * layers this plan executes, so software execution and the
+     * EvE/ADAM cost model agree by construction.
+     */
+    const InferenceSchedule &schedule() const { return schedule_; }
+
+    /** Node-index spans of the levelized layers, in execution order. */
+    const std::vector<LayerSpan> &layerSpans() const
+    {
+        return layerSpans_;
+    }
+
+  private:
+    int numInputs_ = 0;
+    int numOutputs_ = 0;
+    int numSlots_ = 0;
+    long macs_ = 0;
+
+    // Per-node tables, structure-of-arrays in layer execution order.
+    std::vector<neat::Activation> activation_;
+    std::vector<neat::Aggregation> aggregation_;
+    std::vector<double> bias_;
+    std::vector<double> response_;
+    /** Destination value slot of each node. */
+    std::vector<int32_t> nodeSlot_;
+
+    // CSR edge arrays: node n reads edges
+    // [edgeOffset_[n], edgeOffset_[n+1]).
+    std::vector<int32_t> edgeOffset_; // numNodes + 1 entries
+    /**
+     * Source value slot per edge. Sum-aggregated nodes carry only
+     * resolvable sources (the interpreter's fast path skips the rest,
+     * so dropping them at compile time is bit-identical and keeps the
+     * inner loop branch-free in practice); other aggregations keep a
+     * -1 sentinel per out-of-graph source, which contributes an
+     * explicit 0-valued operand exactly like the interpreter.
+     */
+    std::vector<int32_t> edgeSrc_;
+    std::vector<double> edgeWeight_;
+
+    std::vector<LayerSpan> layerSpans_;
+    /** Value slot of each output key; -1 when unreachable (reads 0). */
+    std::vector<int32_t> outputSlot_;
+
+    InferenceSchedule schedule_;
+};
+
+} // namespace genesys::nn
+
+#endif // GENESYS_NN_COMPILED_PLAN_HH

@@ -9,73 +9,84 @@
 namespace genesys::nn
 {
 
+GenomeAnalysis
+analyzeGenome(const Genome &genome, const NeatConfig &cfg)
+{
+    GenomeAnalysis out;
+
+    // One pass over the connection genes builds the adjacency both
+    // walks run on; nothing below touches the gene maps again.
+    std::map<int, std::vector<int>> in_of;  // dst -> enabled sources
+    std::map<int, std::vector<int>> out_of; // src -> enabled dests
+    for (const auto &[ck, cg] : genome.connections()) {
+        if (!cg.enabled)
+            continue;
+        in_of[ck.second].push_back(ck.first);
+        out_of[ck.first].push_back(ck.second);
+    }
+
+    // Backward reachability from the outputs. Inputs (negative keys)
+    // terminate the walk: they are always available, never "required".
+    std::vector<int> stack;
+    for (int o : Genome::outputKeys(cfg)) {
+        out.required.insert(o);
+        stack.push_back(o);
+    }
+    while (!stack.empty()) {
+        const int dst = stack.back();
+        stack.pop_back();
+        auto it = in_of.find(dst);
+        if (it == in_of.end())
+            continue;
+        for (int src : it->second) {
+            if (src >= 0 && out.required.insert(src).second)
+                stack.push_back(src);
+        }
+    }
+
+    // Levelization by in-degree countdown over the required subgraph.
+    // A node joins a layer the wave after its last source became
+    // available; nodes with zero enabled in-edges never join (they
+    // are never "fed by something available"), and edges from
+    // unresolvable sources — cycle members, dangling references —
+    // simply never count down, excluding everything downstream.
+    std::map<int, int> remaining;
+    for (int n : out.required) {
+        auto it = in_of.find(n);
+        remaining[n] =
+            it == in_of.end() ? 0 : static_cast<int>(it->second.size());
+    }
+    std::vector<int> frontier = Genome::inputKeys(cfg);
+    while (!frontier.empty()) {
+        std::vector<int> next;
+        for (int src : frontier) {
+            auto it = out_of.find(src);
+            if (it == out_of.end())
+                continue;
+            for (int dst : it->second) {
+                auto r = remaining.find(dst);
+                if (r != remaining.end() && --r->second == 0)
+                    next.push_back(dst);
+            }
+        }
+        std::sort(next.begin(), next.end());
+        if (!next.empty())
+            out.layers.push_back(next);
+        frontier = std::move(next);
+    }
+    return out;
+}
+
 std::set<int>
 requiredForOutput(const Genome &genome, const NeatConfig &cfg)
 {
-    // Walk backwards from the outputs through enabled connections.
-    std::set<int> required;
-    for (int out : Genome::outputKeys(cfg))
-        required.insert(out);
-
-    std::set<int> frontier = required;
-    while (!frontier.empty()) {
-        std::set<int> next;
-        for (const auto &[ck, cg] : genome.connections()) {
-            if (!cg.enabled)
-                continue;
-            const auto [src, dst] = ck;
-            if (frontier.count(dst) && !required.count(src) && src >= 0) {
-                required.insert(src);
-                next.insert(src);
-            }
-        }
-        frontier = std::move(next);
-    }
-    return required;
+    return analyzeGenome(genome, cfg).required;
 }
 
 std::vector<std::vector<int>>
 feedForwardLayers(const Genome &genome, const NeatConfig &cfg)
 {
-    const std::set<int> required = requiredForOutput(genome, cfg);
-
-    std::set<int> have;
-    for (int in : Genome::inputKeys(cfg))
-        have.insert(in);
-
-    std::vector<std::vector<int>> layers;
-    while (true) {
-        // Candidates: nodes fed by something already available but
-        // not yet themselves available.
-        std::set<int> candidates;
-        for (const auto &[ck, cg] : genome.connections()) {
-            if (!cg.enabled)
-                continue;
-            if (have.count(ck.first) && !have.count(ck.second))
-                candidates.insert(ck.second);
-        }
-        std::vector<int> layer;
-        for (int n : candidates) {
-            if (!required.count(n))
-                continue;
-            bool ready = true;
-            for (const auto &[ck, cg] : genome.connections()) {
-                if (cg.enabled && ck.second == n && !have.count(ck.first)) {
-                    ready = false;
-                    break;
-                }
-            }
-            if (ready)
-                layer.push_back(n);
-        }
-        if (layer.empty())
-            break;
-        std::sort(layer.begin(), layer.end());
-        for (int n : layer)
-            have.insert(n);
-        layers.push_back(std::move(layer));
-    }
-    return layers;
+    return analyzeGenome(genome, cfg).layers;
 }
 
 FeedForwardNetwork
@@ -84,7 +95,7 @@ FeedForwardNetwork::create(const Genome &genome, const NeatConfig &cfg)
     FeedForwardNetwork net;
     net.numInputs_ = cfg.numInputs;
     net.numOutputs_ = cfg.numOutputs;
-    net.layers_ = feedForwardLayers(genome, cfg);
+    net.layers_ = analyzeGenome(genome, cfg).layers;
 
     // Dense slot assignment: inputs first, then nodes in layer order.
     std::map<int, int> slot_of;

@@ -41,9 +41,35 @@ struct NodeEval
 };
 
 /**
+ * Combined result of the two graph walks every phenotype consumer
+ * needs: the required-node set (backward reachability from the
+ * outputs) and the topological layering of those nodes. Computed
+ * together from one adjacency build so FeedForwardNetwork::create,
+ * levelize() and CompiledPlan::compile each pay for the analysis
+ * exactly once instead of re-scanning the connection genes per layer
+ * and per candidate node.
+ */
+struct GenomeAnalysis
+{
+    /** Nodes on some enabled path to an output (required_for_output). */
+    std::set<int> required;
+    /**
+     * Topological layers of the required nodes: layer i holds nodes
+     * whose inputs are all available after layers < i, ascending key
+     * order within a layer (neat-python feed_forward_layers). Nodes
+     * with no enabled inbound edge — and anything downstream of a
+     * cycle — never become ready and are excluded.
+     */
+    std::vector<std::vector<int>> layers;
+};
+
+/** Run both graph walks over `genome` in one pass. */
+GenomeAnalysis analyzeGenome(const Genome &genome, const NeatConfig &cfg);
+
+/**
  * Nodes required to compute the outputs: every node on some
  * enabled-connection path to an output (neat-python
- * required_for_output).
+ * required_for_output). Convenience wrapper over analyzeGenome().
  */
 std::set<int> requiredForOutput(const Genome &genome,
                                 const NeatConfig &cfg);
@@ -52,6 +78,7 @@ std::set<int> requiredForOutput(const Genome &genome,
  * Topological layering of the required nodes: layer i contains nodes
  * whose inputs are all available after layers < i (neat-python
  * feed_forward_layers). Only enabled connections participate.
+ * Convenience wrapper over analyzeGenome().
  */
 std::vector<std::vector<int>> feedForwardLayers(const Genome &genome,
                                                 const NeatConfig &cfg);

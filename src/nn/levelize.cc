@@ -44,9 +44,14 @@ InferenceSchedule::meanDensity() const
 InferenceSchedule
 levelize(const Genome &genome, const NeatConfig &cfg)
 {
-    InferenceSchedule sched;
-    const auto layers = feedForwardLayers(genome, cfg);
+    return scheduleForLayers(genome, analyzeGenome(genome, cfg).layers);
+}
 
+InferenceSchedule
+scheduleForLayers(const Genome &genome,
+                  const std::vector<std::vector<int>> &layers)
+{
+    InferenceSchedule sched;
     for (const auto &layer : layers) {
         PackedLayer pl;
         pl.numNodes = static_cast<int>(layer.size());

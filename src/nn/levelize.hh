@@ -57,6 +57,16 @@ struct InferenceSchedule
 /** Build the packed schedule for a genome. */
 InferenceSchedule levelize(const Genome &genome, const NeatConfig &cfg);
 
+/**
+ * Build the packed schedule from an already-computed topological
+ * layering (see analyzeGenome). CompiledPlan::compile uses this so
+ * the software execution plan and the ADAM cost model are derived
+ * from the same layers by construction.
+ */
+InferenceSchedule
+scheduleForLayers(const Genome &genome,
+                  const std::vector<std::vector<int>> &layers);
+
 } // namespace genesys::nn
 
 #endif // GENESYS_NN_LEVELIZE_HH

@@ -1,0 +1,54 @@
+#include "nn/plan_cache.hh"
+
+namespace genesys::nn
+{
+
+void
+PlanCache::beginGeneration()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    plans_.clear();
+}
+
+std::shared_ptr<const CompiledPlan>
+PlanCache::acquire(int genomeKey, const neat::Genome &genome,
+                   const neat::NeatConfig &cfg)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = plans_.find(genomeKey);
+        if (it != plans_.end()) {
+            ++hits_;
+            return it->second;
+        }
+    }
+    auto plan = std::make_shared<const CompiledPlan>(
+        CompiledPlan::compile(genome, cfg));
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++compiles_;
+    auto [it, inserted] = plans_.emplace(genomeKey, std::move(plan));
+    return it->second;
+}
+
+size_t
+PlanCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return plans_.size();
+}
+
+long
+PlanCache::compiles() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return compiles_;
+}
+
+long
+PlanCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+} // namespace genesys::nn

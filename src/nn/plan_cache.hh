@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Per-generation compiled-plan cache. A NEAT generation evaluates
+ * every genome over several episodes (and, under the parallel
+ * engine, potentially from several threads); the cache guarantees
+ * each genome is compiled exactly once per generation and the
+ * resulting immutable CompiledPlan is shared read-only by every
+ * consumer — episode loops, the hardware-model workload accounting,
+ * replay. beginGeneration() drops the previous generation's plans,
+ * so the cache never outgrows the population size.
+ */
+
+#ifndef GENESYS_NN_PLAN_CACHE_HH
+#define GENESYS_NN_PLAN_CACHE_HH
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "nn/compiled_plan.hh"
+
+namespace genesys::nn
+{
+
+/**
+ * Thread-safe map from genome key to its compiled plan. Keys are
+ * globally unique within a run, so a key fully identifies a genome's
+ * structure for the duration of one generation.
+ */
+class PlanCache
+{
+  public:
+    /** Start a new generation: drop every cached plan. */
+    void beginGeneration();
+
+    /**
+     * The plan for `genome`, compiling it on first request.
+     * Compilation runs outside the lock so distinct genomes compile
+     * concurrently; if two threads race on the same key the first
+     * insert wins and both receive the same shared plan.
+     */
+    std::shared_ptr<const CompiledPlan>
+    acquire(int genomeKey, const neat::Genome &genome,
+            const neat::NeatConfig &cfg);
+
+    /** Plans currently cached (bounded by the generation size). */
+    size_t size() const;
+
+    /** Lifetime compile count — the leak/dedup observability hook. */
+    long compiles() const;
+    /** Lifetime cache-hit count. */
+    long hits() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<int, std::shared_ptr<const CompiledPlan>> plans_;
+    long compiles_ = 0;
+    long hits_ = 0;
+};
+
+} // namespace genesys::nn
+
+#endif // GENESYS_NN_PLAN_CACHE_HH

@@ -207,6 +207,95 @@ TEST(FeedForwardNetwork, SigmoidOutputsBounded)
     }
 }
 
+// --- layer-structure regression (analyzeGenome rewrite) ---------------------
+
+TEST(FeedForwardLayers, PinnedDiamondWithSkipsAndDeadBranches)
+{
+    // Regression pin for the one-pass analyzeGenome rewrite: a
+    // diamond with a skip edge, a dead-end hidden node and a
+    // never-ready hidden node. The layer structure is part of the
+    // plan/interpreter slot contract, so it is pinned exactly.
+    //
+    //   -1 -> 1 -> 3 ---> 0        (diamond arms 1/2, join 3)
+    //   -2 -> 2 ----^
+    //   -1 -------------> 0        (skip edge)
+    //   -2 -> 4                    (dead end: not required)
+    //    5 -> 3                    (5 has no inputs: never ready...
+    //                               ...and blocks nothing else)
+    const auto cfg = netConfig(2, 1);
+    Genome g(0);
+    for (int nk : {0, 1, 2, 3, 4, 5}) {
+        NodeGene n;
+        n.key = nk;
+        n.activation = Activation::Identity;
+        g.mutableNodes().emplace(nk, n);
+    }
+    auto conn = [&g](int a, int b) {
+        ConnectionGene c;
+        c.key = {a, b};
+        c.weight = 1.0;
+        g.mutableConnections().emplace(c.key, c);
+    };
+    conn(-1, 1);
+    conn(-2, 2);
+    conn(1, 3);
+    conn(2, 3);
+    conn(3, 0);
+    conn(-1, 0);
+    conn(-2, 4);
+    conn(5, 3);
+
+    const auto analysis = analyzeGenome(g, cfg);
+    // 5 feeds 3, so it is required; 4 feeds nothing, so it is not.
+    EXPECT_EQ(analysis.required, (std::set<int>{0, 1, 2, 3, 5}));
+    // Node 5 has no inbound edges, so it never becomes ready; node 3
+    // waits on it forever, and output 0 waits on 3 (the skip edge
+    // alone cannot ready a node that also reads 3). Pinned: only the
+    // diamond arms make it into layers.
+    const std::vector<std::vector<int>> expect{{1, 2}};
+    EXPECT_EQ(analysis.layers, expect);
+
+    // Removing the blocker unblocks the full diamond shape.
+    g.mutableConnections().at({5, 3}).enabled = false;
+    const auto unblocked = analyzeGenome(g, cfg);
+    const std::vector<std::vector<int>> expect2{{1, 2}, {3}, {0}};
+    EXPECT_EQ(unblocked.layers, expect2);
+    EXPECT_EQ(unblocked.required, (std::set<int>{0, 1, 2, 3}));
+
+    // The wrappers agree with the combined analysis.
+    EXPECT_EQ(feedForwardLayers(g, cfg), unblocked.layers);
+    EXPECT_EQ(requiredForOutput(g, cfg), unblocked.required);
+}
+
+TEST(FeedForwardLayers, ZeroInEdgeNodesNeverLayered)
+{
+    // A hidden node with no enabled inbound edges must not appear in
+    // any layer even though its in-degree is trivially "satisfied".
+    const auto cfg = netConfig(1, 1);
+    Genome g(0);
+    NodeGene out;
+    out.key = 0;
+    out.activation = Activation::Identity;
+    NodeGene orphan = out;
+    orphan.key = 1;
+    g.mutableNodes().emplace(0, out);
+    g.mutableNodes().emplace(1, orphan);
+    ConnectionGene a;
+    a.key = {-1, 0};
+    a.weight = 1.0;
+    g.mutableConnections().emplace(a.key, a);
+    ConnectionGene b;
+    b.key = {1, 0};
+    b.weight = 1.0;
+    b.enabled = false; // 1 -> 0 disabled: 1 is not even required
+    g.mutableConnections().emplace(b.key, b);
+
+    const auto analysis = analyzeGenome(g, cfg);
+    EXPECT_EQ(analysis.layers,
+              (std::vector<std::vector<int>>{{0}}));
+    EXPECT_FALSE(analysis.required.count(1));
+}
+
 // --- levelize -------------------------------------------------------------
 
 TEST(Levelize, HandGenomeDims)

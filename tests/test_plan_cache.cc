@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the per-generation compiled-plan cache and its behaviour
+ * under the parallel evaluation engine: one compile per genome per
+ * generation, read-only plan sharing across 1/2/8 worker threads
+ * with bit-identical results, and a cache bounded by the population
+ * size (no leak across generations).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/genesys.hh"
+#include "exec/eval_engine.hh"
+#include "nn/plan_cache.hh"
+
+using namespace genesys;
+using namespace genesys::exec;
+using namespace genesys::nn;
+
+namespace
+{
+
+std::pair<neat::NeatConfig, std::vector<neat::Genome>>
+makeGenomes(int count, uint64_t seed)
+{
+    auto env = env::makeEnvironment("CartPole_v0");
+    neat::NeatConfig cfg = env::configForEnvironment(*env);
+    cfg.populationSize = count;
+    neat::NodeIndexer idx(cfg.numOutputs);
+    XorWow rng(seed);
+    std::vector<neat::Genome> genomes;
+    genomes.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        auto g = neat::Genome::createNew(i, cfg, idx, rng);
+        for (int m = 0; m < 8; ++m)
+            g.mutate(cfg, idx, rng);
+        genomes.push_back(std::move(g));
+    }
+    return {cfg, std::move(genomes)};
+}
+
+std::vector<neat::GenomeHandle>
+handlesOf(const std::vector<neat::Genome> &genomes)
+{
+    std::vector<neat::GenomeHandle> hs;
+    hs.reserve(genomes.size());
+    for (size_t i = 0; i < genomes.size(); ++i)
+        hs.push_back({static_cast<int>(i), &genomes[i]});
+    return hs;
+}
+
+} // namespace
+
+// --- PlanCache unit behaviour ------------------------------------------------
+
+TEST(PlanCacheTest, CompilesOnceAndSharesThePlan)
+{
+    const auto [cfg, genomes] = makeGenomes(3, 41);
+    PlanCache cache;
+
+    const auto a = cache.acquire(0, genomes[0], cfg);
+    const auto b = cache.acquire(0, genomes[0], cfg);
+    EXPECT_EQ(a.get(), b.get()); // same object, not a recompile
+    EXPECT_EQ(cache.compiles(), 1);
+    EXPECT_EQ(cache.hits(), 1);
+    EXPECT_EQ(cache.size(), 1u);
+
+    cache.acquire(1, genomes[1], cfg);
+    cache.acquire(2, genomes[2], cfg);
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.compiles(), 3);
+}
+
+TEST(PlanCacheTest, BeginGenerationDropsEveryPlan)
+{
+    const auto [cfg, genomes] = makeGenomes(2, 43);
+    PlanCache cache;
+    cache.acquire(0, genomes[0], cfg);
+    cache.acquire(1, genomes[1], cfg);
+    ASSERT_EQ(cache.size(), 2u);
+
+    cache.beginGeneration();
+    EXPECT_EQ(cache.size(), 0u);
+    // Same key again is a fresh compile, not a stale hit.
+    cache.acquire(0, genomes[0], cfg);
+    EXPECT_EQ(cache.compiles(), 3);
+}
+
+TEST(PlanCacheTest, PlanOutlivesCacheEviction)
+{
+    // A shared_ptr handed out stays valid after beginGeneration —
+    // consumers holding a plan (e.g. GenomeEvalResult) never see it
+    // die under them.
+    const auto [cfg, genomes] = makeGenomes(1, 47);
+    PlanCache cache;
+    const auto plan = cache.acquire(0, genomes[0], cfg);
+    const auto expect = plan->activate({0.1, 0.2, 0.3, 0.4});
+    cache.beginGeneration();
+    EXPECT_EQ(plan->activate({0.1, 0.2, 0.3, 0.4}), expect);
+}
+
+// --- cache under the parallel engine -----------------------------------------
+
+TEST(PlanCacheEngineTest, OneCompilePerGenomePerGeneration)
+{
+    const auto [cfg, genomes] = makeGenomes(12, 53);
+
+    EvalEngineConfig ecfg;
+    ecfg.envName = "CartPole_v0";
+    ecfg.numThreads = 4;
+    ecfg.episodes = 3; // several episodes share one plan
+    EvalEngine engine(ecfg);
+
+    const auto results = engine.evaluateGeneration(
+        handlesOf(genomes), cfg, EvalEngine::sharedEpisodeSeeds(7));
+    EXPECT_EQ(engine.planCache().compiles(),
+              static_cast<long>(genomes.size()));
+    EXPECT_EQ(engine.planCache().size(), genomes.size());
+
+    // Every result carries the cached plan; its schedule totals match
+    // the detail's MAC accounting (macs = macsPerInference * steps).
+    for (const auto &r : results) {
+        ASSERT_NE(r.plan, nullptr);
+        EXPECT_EQ(r.plan->macsPerInference() * r.detail.inferences,
+                  r.detail.macs);
+        EXPECT_EQ(r.plan->schedule().totalMacs(),
+                  r.plan->macsPerInference());
+    }
+}
+
+TEST(PlanCacheEngineTest, CacheBoundedAcrossGenerations)
+{
+    // Re-submitting batches (new generations) must not accumulate
+    // plans: the cache is cleared per generation, so its size stays
+    // bounded by the population size.
+    const auto [cfg, genomes] = makeGenomes(10, 59);
+
+    EvalEngineConfig ecfg;
+    ecfg.envName = "CartPole_v0";
+    ecfg.numThreads = 2;
+    ecfg.episodes = 1;
+    EvalEngine engine(ecfg);
+
+    for (int gen = 0; gen < 5; ++gen) {
+        // Distinct keys per generation, as in a real run.
+        std::vector<neat::GenomeHandle> handles;
+        for (size_t i = 0; i < genomes.size(); ++i)
+            handles.push_back(
+                {gen * 100 + static_cast<int>(i), &genomes[i]});
+        engine.evaluateGeneration(handles, cfg,
+                                  EvalEngine::sharedEpisodeSeeds(
+                                      static_cast<uint64_t>(gen)));
+        EXPECT_LE(engine.planCache().size(), genomes.size())
+            << "generation " << gen;
+    }
+    EXPECT_EQ(engine.planCache().size(), genomes.size());
+    EXPECT_EQ(engine.planCache().compiles(),
+              static_cast<long>(5 * genomes.size()));
+}
+
+TEST(PlanCacheEngineTest, SharedPlansBitIdenticalAcross128Threads)
+{
+    const auto [cfg, genomes] = makeGenomes(24, 61);
+
+    auto evaluate = [&cfg = cfg, &genomes = genomes](int threads) {
+        EvalEngineConfig ecfg;
+        ecfg.envName = "CartPole_v0";
+        ecfg.numThreads = threads;
+        ecfg.episodes = 2;
+        EvalEngine engine(ecfg);
+        return engine.evaluateGeneration(
+            handlesOf(genomes), cfg, EvalEngine::perGenomeSeeds(17));
+    };
+
+    const auto serial = evaluate(1);
+    for (int threads : {2, 8}) {
+        const auto parallel = evaluate(threads);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(parallel[i].detail.fitness,
+                      serial[i].detail.fitness)
+                << "genome " << i << " at " << threads << " threads";
+            EXPECT_EQ(parallel[i].detail.inferences,
+                      serial[i].detail.inferences);
+            EXPECT_EQ(parallel[i].detail.macs, serial[i].detail.macs);
+            // The levelized schedules must be identical too — the
+            // hardware model sees the same stream at any thread
+            // count.
+            EXPECT_EQ(parallel[i].plan->schedule().totalMacs(),
+                      serial[i].plan->schedule().totalMacs());
+            EXPECT_EQ(parallel[i].plan->schedule().denseCells(),
+                      serial[i].plan->schedule().denseCells());
+        }
+    }
+}
+
+TEST(PlanCacheEngineTest, SystemRunSummaryIdenticalAcrossThreadCounts)
+{
+    // End-to-end: whole System runs (plan compile + cache + episodes
+    // + hardware accounting from plan schedules) must produce
+    // bit-identical RunSummary at 1/2/8 threads.
+    auto run = [](int threads) {
+        core::SystemConfig cfg;
+        cfg.envName = "CartPole_v0";
+        cfg.maxGenerations = 3;
+        cfg.seed = 77;
+        cfg.numThreads = threads;
+        core::System sys(cfg);
+        return sys.run();
+    };
+
+    const auto s1 = run(1);
+    for (int threads : {2, 8}) {
+        const auto sn = run(threads);
+        EXPECT_EQ(sn.solved, s1.solved);
+        EXPECT_EQ(sn.generations, s1.generations);
+        EXPECT_EQ(sn.bestFitness, s1.bestFitness);
+        EXPECT_EQ(sn.totalEvolutionEnergyJ, s1.totalEvolutionEnergyJ);
+        EXPECT_EQ(sn.totalInferenceEnergyJ, s1.totalInferenceEnergyJ);
+        EXPECT_EQ(sn.totalEvolutionSeconds, s1.totalEvolutionSeconds);
+        EXPECT_EQ(sn.totalInferenceSeconds, s1.totalInferenceSeconds);
+    }
+}
