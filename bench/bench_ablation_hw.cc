@@ -154,11 +154,11 @@ main()
         for (int frac : {12, 10, 8, 6, 4, 2}) {
             FixedPointCodec q(16 - frac, frac);
             auto quant = best;
-            for (auto &[nk, ng] : quant.mutableNodes()) {
+            for (auto &&[nk, ng] : quant.mutableNodes()) {
                 ng.bias = q.quantize(ng.bias);
                 ng.response = q.quantize(ng.response);
             }
-            for (auto &[ck, cg] : quant.mutableConnections())
+            for (auto &&[ck, cg] : quant.mutableConnections())
                 cg.weight = q.quantize(cg.weight);
             const double f =
                 runner

@@ -337,6 +337,27 @@ BM_CompilePlan(benchmark::State &state)
 BENCHMARK(BM_CompilePlan)->Arg(4)->Arg(128);
 
 static void
+BM_CompilePlan64Hidden(benchmark::State &state)
+{
+    // Plan compile on the pinned 64-hidden dense genome (the genome
+    // every interpreter-vs-compiled comparison above runs on): the
+    // number the flat-genome/SoA refactor is measured by. ~39 us with
+    // std::map gene storage + per-edge binary search, ~16 us flat.
+    const auto cfg = benchConfig(kCmpInputs, kCmpOutputs);
+    const auto g = denseGenome(cfg, kCmpHidden, kCmpSeed);
+    {
+        const auto net = nn::FeedForwardNetwork::create(g, cfg);
+        const auto plan = nn::CompiledPlan::compile(g, cfg);
+        assertPathsMatch(net, plan, cfg, kCmpSeed + 1);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(nn::CompiledPlan::compile(g, cfg));
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(g.numGenes()));
+}
+BENCHMARK(BM_CompilePlan64Hidden);
+
+static void
 BM_NetworkCreate(benchmark::State &state)
 {
     const auto cfg = benchConfig(static_cast<int>(state.range(0)), 4);

@@ -92,9 +92,16 @@ EvalEngine::evaluateGeneration(const std::vector<neat::GenomeHandle> &batch,
 {
     std::vector<GenomeEvalResult> results(batch.size());
 
-    // New generation, new plans: dropping the old entries bounds the
-    // cache at the batch size — no leak across generations.
-    planCache_.beginGeneration();
+    // New generation: keep plans for keys that survived (elites are
+    // copied unchanged under the same key — the paper's "genome stays
+    // resident in the Genome Buffer, no EvE work"), drop the rest so
+    // the cache stays bounded at the batch size. Elite genomes are
+    // therefore never recompiled.
+    std::vector<int> batchKeys;
+    batchKeys.reserve(batch.size());
+    for (const neat::GenomeHandle &h : batch)
+        batchKeys.push_back(h.key);
+    planCache_.beginGeneration(batchKeys);
 
     // Fan the genomes out. Each item touches only its own results
     // slot and the worker's private environment, so the hot loop is

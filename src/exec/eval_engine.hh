@@ -146,9 +146,11 @@ class EvalEngine
     const BatchStats &lastBatchStats() const { return lastBatch_; }
 
     /**
-     * The per-generation plan cache: cleared at the top of every
-     * evaluateGeneration call, so its size is bounded by the
-     * generation's batch size.
+     * The plan cache: pruned at the top of every evaluateGeneration
+     * call to the submitted keys, so its size is bounded by the
+     * generation's batch size while elite genomes (same key as the
+     * previous generation) keep their compiled plan across
+     * generations — zero recompiles for elites.
      */
     const nn::PlanCache &planCache() const { return planCache_; }
 

@@ -1,6 +1,7 @@
 #include "neat/genome.hh"
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
 #include "common/logging.hh"
@@ -23,7 +24,7 @@ size_t
 Genome::numEnabledConnections() const
 {
     size_t n = 0;
-    for (const auto &[key, cg] : connections_) {
+    for (const ConnectionGene &cg : connections_.values()) {
         if (cg.enabled)
             ++n;
     }
@@ -108,29 +109,48 @@ Genome::crossover(int child_key, const Genome &parent1,
 {
     Genome child(child_key);
 
-    for (const auto &[nk, ng1] : parent1.nodes_) {
-        auto it = parent2.nodes_.find(nk);
-        if (it != parent2.nodes_.end()) {
-            child.nodes_.emplace(nk, ng1.crossover(it->second, rng));
-            if (counts)
-                ++counts->crossoverOps;
-        } else {
-            child.nodes_.emplace(nk, ng1);
-            if (counts)
-                ++counts->cloneOps;
-        }
+    // Merge-join over the sorted key arrays: parent1 drives (its key
+    // order fixes the RNG stream, exactly as the old map iteration
+    // did), parent2 advances a cursor instead of paying a lookup per
+    // gene. Parent2-only (excess/disjoint) genes are not inherited.
+    {
+        const auto &k1 = parent1.nodes_.keys();
+        const auto &v1 = parent1.nodes_.values();
+        const auto &v2 = parent2.nodes_.values();
+        child.nodes_.reserve(k1.size());
+        mergeJoinSorted(
+            k1, parent2.nodes_.keys(),
+            [&](size_t i, size_t j) {
+                child.nodes_.emplace(k1[i], v1[i].crossover(v2[j], rng));
+                if (counts)
+                    ++counts->crossoverOps;
+            },
+            [&](size_t i) {
+                child.nodes_.emplace(k1[i], v1[i]);
+                if (counts)
+                    ++counts->cloneOps;
+            },
+            [](size_t) {});
     }
-    for (const auto &[ck, cg1] : parent1.connections_) {
-        auto it = parent2.connections_.find(ck);
-        if (it != parent2.connections_.end()) {
-            child.connections_.emplace(ck, cg1.crossover(it->second, rng));
-            if (counts)
-                ++counts->crossoverOps;
-        } else {
-            child.connections_.emplace(ck, cg1);
-            if (counts)
-                ++counts->cloneOps;
-        }
+    {
+        const auto &k1 = parent1.connections_.keys();
+        const auto &v1 = parent1.connections_.values();
+        const auto &v2 = parent2.connections_.values();
+        child.connections_.reserve(k1.size());
+        mergeJoinSorted(
+            k1, parent2.connections_.keys(),
+            [&](size_t i, size_t j) {
+                child.connections_.emplace(
+                    k1[i], v1[i].crossover(v2[j], rng));
+                if (counts)
+                    ++counts->crossoverOps;
+            },
+            [&](size_t i) {
+                child.connections_.emplace(k1[i], v1[i]);
+                if (counts)
+                    ++counts->cloneOps;
+            },
+            [](size_t) {});
     }
     return child;
 }
@@ -175,12 +195,13 @@ Genome::mutate(const NeatConfig &cfg, NodeIndexer &indexer, XorWow &rng)
 
     // Attribute perturbation pass over every gene (Fig 3(d)
     // "Mutation: Perturb"). One gene-op per gene, matching the
-    // hardware's gene-per-cycle streaming.
-    for (auto &[nk, ng] : nodes_) {
+    // hardware's gene-per-cycle streaming; the flat gene arrays make
+    // this a contiguous walk.
+    for (NodeGene &ng : nodes_.mutableValues()) {
         ng.mutate(cfg, rng);
         ++counts.perturbOps;
     }
-    for (auto &[ck, cg] : connections_) {
+    for (ConnectionGene &cg : connections_.mutableValues()) {
         cg.mutate(cfg, rng);
         ++counts.perturbOps;
     }
@@ -207,17 +228,19 @@ Genome::mutateAddNode(const NeatConfig &cfg, NodeIndexer &indexer,
     if (connections_.empty())
         return -1;
 
-    // Pick a random connection to split.
-    auto it = connections_.begin();
-    std::advance(it, rng.uniformInt(
+    // Pick a random connection to split (same index in the sorted
+    // order the map iteration used). Copy its fields out before any
+    // insert below reallocates the gene array.
+    const auto pick = static_cast<size_t>(rng.uniformInt(
         static_cast<uint32_t>(connections_.size())));
-    ConnectionGene &conn = it->second;
+    ConnectionGene &conn = connections_.mutableValueAt(pick);
     conn.enabled = false;
+    const auto [src, dst] = conn.key;
+    const double split_weight = conn.weight;
 
     const int new_key = indexer.next();
     nodes_.emplace(new_key, NodeGene::createNew(new_key, cfg, rng));
 
-    const auto [src, dst] = conn.key;
     // in -> new carries weight 1, new -> out carries the old weight,
     // preserving the original function at the moment of the split.
     ConnectionGene c1;
@@ -226,7 +249,7 @@ Genome::mutateAddNode(const NeatConfig &cfg, NodeIndexer &indexer,
     c1.enabled = true;
     ConnectionGene c2;
     c2.key = {new_key, dst};
-    c2.weight = conn.weight;
+    c2.weight = split_weight;
     c2.enabled = true;
     connections_.insert_or_assign(c1.key, c1);
     connections_.insert_or_assign(c2.key, c2);
@@ -237,11 +260,10 @@ bool
 Genome::mutateAddConnection(const NeatConfig &cfg, XorWow &rng)
 {
     // Destination: any hidden or output node. Source: any node or
-    // input pin.
-    std::vector<int> out_candidates;
-    out_candidates.reserve(nodes_.size());
-    for (const auto &[nk, ng] : nodes_)
-        out_candidates.push_back(nk);
+    // input pin. The node key array is already the sorted candidate
+    // list — only the source list (which appends the input pins)
+    // needs a copy.
+    const std::vector<int> &out_candidates = nodes_.keys();
     if (out_candidates.empty())
         return false;
 
@@ -274,7 +296,7 @@ Genome::mutateDeleteNode(const NeatConfig &cfg, XorWow &rng)
 {
     // Hidden nodes only: outputs are structural, inputs are not genes.
     std::vector<int> hidden;
-    for (const auto &[nk, ng] : nodes_) {
+    for (int nk : nodes_.keys()) {
         if (nk >= cfg.numOutputs)
             hidden.push_back(nk);
     }
@@ -286,16 +308,13 @@ Genome::mutateDeleteNode(const NeatConfig &cfg, XorWow &rng)
     nodes_.erase(victim);
     ++nodeDeletions_;
 
-    // Prune dangling connections — in hardware this is the node-ID
-    // register compare in the Delete Gene Engine (Fig 7).
-    for (auto it = connections_.begin(); it != connections_.end();) {
-        if (it->first.first == victim || it->first.second == victim) {
-            it = connections_.erase(it);
-            ++removed;
-        } else {
-            ++it;
-        }
-    }
+    // Prune dangling connections in one stable pass — in hardware
+    // this is the node-ID register compare in the Delete Gene Engine
+    // (Fig 7).
+    removed += static_cast<long>(connections_.eraseIf(
+        [victim](const ConnKey &ck, const ConnectionGene &) {
+            return ck.first == victim || ck.second == victim;
+        }));
     return removed;
 }
 
@@ -304,33 +323,32 @@ Genome::mutateDeleteConnection(XorWow &rng)
 {
     if (connections_.empty())
         return 0;
-    auto it = connections_.begin();
-    std::advance(it, rng.uniformInt(
-        static_cast<uint32_t>(connections_.size())));
-    connections_.erase(it);
+    connections_.eraseAt(static_cast<size_t>(rng.uniformInt(
+        static_cast<uint32_t>(connections_.size()))));
     return 1;
 }
 
 double
 Genome::distance(const Genome &other, const NeatConfig &cfg) const
 {
+    // Merge-join over both sorted key arrays: one linear pass counts
+    // the disjoint genes on both sides and accumulates homologous
+    // attribute distance in ascending key order — the same summation
+    // order (hence bit-identical doubles) as the old per-key map
+    // lookups.
     double node_distance = 0.0;
     if (!nodes_.empty() || !other.nodes_.empty()) {
         long disjoint = 0;
         double d = 0.0;
-        for (const auto &[nk, ng2] : other.nodes_) {
-            if (!nodes_.count(nk))
-                ++disjoint;
-        }
-        for (const auto &[nk, ng1] : nodes_) {
-            auto it = other.nodes_.find(nk);
-            if (it == other.nodes_.end()) {
-                ++disjoint;
-            } else {
-                d += ng1.distance(it->second) *
+        const auto &va = nodes_.values();
+        const auto &vb = other.nodes_.values();
+        mergeJoinSorted(
+            nodes_.keys(), other.nodes_.keys(),
+            [&](size_t i, size_t j) {
+                d += va[i].distance(vb[j]) *
                      cfg.compatibilityWeightCoefficient;
-            }
-        }
+            },
+            [&](size_t) { ++disjoint; }, [&](size_t) { ++disjoint; });
         const double max_nodes = static_cast<double>(
             std::max(nodes_.size(), other.nodes_.size()));
         node_distance =
@@ -343,19 +361,15 @@ Genome::distance(const Genome &other, const NeatConfig &cfg) const
     if (!connections_.empty() || !other.connections_.empty()) {
         long disjoint = 0;
         double d = 0.0;
-        for (const auto &[ck, cg2] : other.connections_) {
-            if (!connections_.count(ck))
-                ++disjoint;
-        }
-        for (const auto &[ck, cg1] : connections_) {
-            auto it = other.connections_.find(ck);
-            if (it == other.connections_.end()) {
-                ++disjoint;
-            } else {
-                d += cg1.distance(it->second) *
+        const auto &va = connections_.values();
+        const auto &vb = other.connections_.values();
+        mergeJoinSorted(
+            connections_.keys(), other.connections_.keys(),
+            [&](size_t i, size_t j) {
+                d += va[i].distance(vb[j]) *
                      cfg.compatibilityWeightCoefficient;
-            }
-        }
+            },
+            [&](size_t) { ++disjoint; }, [&](size_t) { ++disjoint; });
         const double max_conns = static_cast<double>(
             std::max(connections_.size(), other.connections_.size()));
         conn_distance =
@@ -369,62 +383,155 @@ Genome::distance(const Genome &other, const NeatConfig &cfg) const
 void
 Genome::validate(const NeatConfig &cfg) const
 {
-    std::set<int> valid_sources;
-    std::set<int> valid_dests;
-    for (int in : inputKeys(cfg))
-        valid_sources.insert(in);
-    for (const auto &[nk, ng] : nodes_) {
-        GENESYS_ASSERT(nk == ng.key, "node gene key mismatch");
-        GENESYS_ASSERT(nk >= 0, "node gene with input (negative) key");
-        valid_sources.insert(nk);
-        valid_dests.insert(nk);
+    const auto &nkeys = nodes_.keys();
+    for (size_t i = 0; i < nkeys.size(); ++i) {
+        const NodeGene &ng = nodes_.valueAt(i);
+        GENESYS_ASSERT(nkeys[i] == ng.key, "node gene key mismatch");
+        GENESYS_ASSERT(nkeys[i] >= 0, "node gene with input (negative) key");
+        GENESYS_ASSERT(i == 0 || nkeys[i - 1] < nkeys[i],
+                       "node keys not strictly ascending");
     }
     for (int out : outputKeys(cfg)) {
         GENESYS_ASSERT(nodes_.count(out),
                        "output node " << out << " missing");
     }
-    for (const auto &[ck, cg] : connections_) {
-        GENESYS_ASSERT(ck == cg.key, "connection gene key mismatch");
-        GENESYS_ASSERT(valid_sources.count(ck.first),
+    const auto valid_source = [&](int k) {
+        return (k < 0 && k >= -cfg.numInputs) || nodes_.contains(k);
+    };
+    const auto &ckeys = connections_.keys();
+    for (size_t i = 0; i < ckeys.size(); ++i) {
+        const ConnKey &ck = ckeys[i];
+        GENESYS_ASSERT(ck == connections_.valueAt(i).key,
+                       "connection gene key mismatch");
+        GENESYS_ASSERT(valid_source(ck.first),
                        "dangling connection source " << ck.first);
-        GENESYS_ASSERT(valid_dests.count(ck.second),
+        GENESYS_ASSERT(nodes_.contains(ck.second),
                        "dangling connection dest " << ck.second);
+        GENESYS_ASSERT(i == 0 || ckeys[i - 1] < ck,
+                       "connection keys not strictly ascending");
     }
     if (cfg.feedForward) {
-        // The stored graph must be acyclic (checked over all
-        // connections, enabled or not, as neat-python maintains).
-        for (const auto &[ck, cg] : connections_) {
-            std::map<ConnKey, ConnectionGene> rest = connections_;
-            rest.erase(ck);
-            GENESYS_ASSERT(!createsCycle(rest, ck),
-                           "cycle through connection (" << ck.first << ","
-                                                        << ck.second << ")");
+        // The stored graph must be acyclic (over all connections,
+        // enabled or not, as neat-python maintains). One Kahn-style
+        // in-degree countdown over every stored connection replaces
+        // the old per-connection map copy + BFS (O(C^2) copies); any
+        // vertex that never resolves sits on or downstream of a
+        // cycle, and the first edge whose endpoints both fail to
+        // resolve is reported as the offender.
+        const int num_inputs = cfg.numInputs;
+        const auto index_of = [&](int key) -> size_t {
+            if (key < 0) // -numInputs..-1 -> 0..numInputs-1
+                return static_cast<size_t>(key + num_inputs);
+            return static_cast<size_t>(num_inputs) +
+                   static_cast<size_t>(
+                       std::lower_bound(nkeys.begin(), nkeys.end(), key) -
+                       nkeys.begin());
+        };
+        const size_t nv = static_cast<size_t>(num_inputs) + nkeys.size();
+        std::vector<int> in_deg(nv, 0);
+        for (const ConnKey &ck : ckeys)
+            ++in_deg[index_of(ck.second)];
+
+        // Seed with every vertex that has no stored in-edge (inputs
+        // always qualify: destinations are node keys).
+        std::vector<char> resolved(nv, 0);
+        std::vector<int> stack; // vertex keys
+        for (int i = 0; i < num_inputs; ++i) {
+            resolved[static_cast<size_t>(i)] = 1;
+            stack.push_back(i - num_inputs);
+        }
+        for (size_t i = 0; i < nkeys.size(); ++i) {
+            if (in_deg[static_cast<size_t>(num_inputs) + i] == 0) {
+                resolved[static_cast<size_t>(num_inputs) + i] = 1;
+                stack.push_back(nkeys[i]);
+            }
+        }
+        while (!stack.empty()) {
+            const int v = stack.back();
+            stack.pop_back();
+            // Out-edges of v are the contiguous (v, *) range of the
+            // sorted connection-key array.
+            auto it = std::lower_bound(
+                ckeys.begin(), ckeys.end(),
+                ConnKey{v, std::numeric_limits<int>::min()});
+            for (; it != ckeys.end() && it->first == v; ++it) {
+                const size_t dst = index_of(it->second);
+                if (--in_deg[dst] == 0) {
+                    resolved[dst] = 1;
+                    stack.push_back(it->second);
+                }
+            }
+        }
+        bool cyclic = false;
+        for (const ConnKey &ck : ckeys) {
+            if (!resolved[index_of(ck.first)] &&
+                !resolved[index_of(ck.second)]) {
+                cyclic = true;
+                break;
+            }
+        }
+        if (cyclic) {
+            // The forward pass leaves cycles *and* everything
+            // downstream of them unresolved. Peel vertices with no
+            // outgoing edge into the unresolved core (failure path
+            // only), so the edge reported below actually lies on a
+            // cycle — not merely behind one.
+            std::vector<char> core(nv, 0);
+            for (size_t v = 0; v < nv; ++v)
+                core[v] = !resolved[v];
+            for (bool changed = true; changed;) {
+                changed = false;
+                std::vector<int> out_in_core(nv, 0);
+                for (const ConnKey &ck : ckeys) {
+                    if (core[index_of(ck.first)] &&
+                        core[index_of(ck.second)])
+                        ++out_in_core[index_of(ck.first)];
+                }
+                for (size_t v = 0; v < nv; ++v) {
+                    if (core[v] && out_in_core[v] == 0) {
+                        core[v] = 0;
+                        changed = true;
+                    }
+                }
+            }
+            for (const ConnKey &ck : ckeys) {
+                GENESYS_ASSERT(!core[index_of(ck.first)] ||
+                                   !core[index_of(ck.second)],
+                               "cycle through connection ("
+                                   << ck.first << "," << ck.second
+                                   << ")");
+            }
+            panic("feed-forward genome has a cycle but no core edge "
+                  "was identified");
         }
     }
 }
 
 bool
-Genome::createsCycle(const std::map<ConnKey, ConnectionGene> &connections,
-                     ConnKey test)
+Genome::createsCycle(const ConnGeneMap &connections, ConnKey test)
 {
     const auto [in, out] = test;
     if (in == out)
         return true;
 
-    // BFS from `out`; a path back to `in` means the new edge closes a
-    // cycle.
+    // DFS from `out`; a path back to `in` means the new edge closes a
+    // cycle. Out-edges of a node are a contiguous range of the sorted
+    // key array, so no adjacency structure is built.
+    const auto &keys = connections.keys();
     std::set<int> visited{out};
-    bool grew = true;
-    while (grew) {
-        grew = false;
-        for (const auto &[ck, cg] : connections) {
-            const auto [a, b] = ck;
-            if (visited.count(a) && !visited.count(b)) {
-                if (b == in)
-                    return true;
-                visited.insert(b);
-                grew = true;
-            }
+    std::vector<int> stack{out};
+    while (!stack.empty()) {
+        const int v = stack.back();
+        stack.pop_back();
+        auto it = std::lower_bound(
+            keys.begin(), keys.end(),
+            ConnKey{v, std::numeric_limits<int>::min()});
+        for (; it != keys.end() && it->first == v; ++it) {
+            const int b = it->second;
+            if (b == in)
+                return true;
+            if (visited.insert(b).second)
+                stack.push_back(b);
         }
     }
     return false;

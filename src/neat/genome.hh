@@ -9,15 +9,20 @@
 #ifndef GENESYS_NEAT_GENOME_HH
 #define GENESYS_NEAT_GENOME_HH
 
-#include <map>
 #include <optional>
 #include <vector>
 
 #include "common/rng.hh"
+#include "neat/flat_gene_map.hh"
 #include "neat/gene.hh"
 
 namespace genesys::neat
 {
+
+/** Flat, key-sorted node gene storage (ascending node key). */
+using NodeGeneMap = FlatGeneMap<int, NodeGene>;
+/** Flat, key-sorted connection gene storage (ascending (src, dst)). */
+using ConnGeneMap = FlatGeneMap<ConnKey, ConnectionGene>;
 
 /**
  * Issues fresh node ids. Shared across a population so node ids are
@@ -96,16 +101,12 @@ class Genome
     void clearFitness() { fitness_.reset(); }
 
     // --- gene access -----------------------------------------------------
-    const std::map<int, NodeGene> &nodes() const { return nodes_; }
-    const std::map<ConnKey, ConnectionGene> &connections() const
-    {
-        return connections_;
-    }
-    std::map<int, NodeGene> &mutableNodes() { return nodes_; }
-    std::map<ConnKey, ConnectionGene> &mutableConnections()
-    {
-        return connections_;
-    }
+    // Flat SoA storage, iterated in ascending key order (the order the
+    // old std::map storage provided — evolution is bit-identical).
+    const NodeGeneMap &nodes() const { return nodes_; }
+    const ConnGeneMap &connections() const { return connections_; }
+    NodeGeneMap &mutableNodes() { return nodes_; }
+    ConnGeneMap &mutableConnections() { return connections_; }
 
     size_t numNodeGenes() const { return nodes_.size(); }
     size_t numConnectionGenes() const { return connections_.size(); }
@@ -188,7 +189,9 @@ class Genome
     /**
      * Check structural invariants: connection endpoints exist, no
      * dangling references, no output-node inputs keys, acyclic when
-     * feed-forward. Throws (panics) on violation.
+     * feed-forward (one topological pass over every stored
+     * connection, reporting the offending edge). Throws (panics) on
+     * violation.
      */
     void validate(const NeatConfig &cfg) const;
 
@@ -197,8 +200,7 @@ class Genome
      * graph formed by `connections`? Used to maintain the
      * feed-forward invariant (neat-python's creates_cycle).
      */
-    static bool createsCycle(
-        const std::map<ConnKey, ConnectionGene> &connections, ConnKey test);
+    static bool createsCycle(const ConnGeneMap &connections, ConnKey test);
 
     /** Node deletions applied to this genome since its creation. */
     int nodeDeletions() const { return nodeDeletions_; }
@@ -211,8 +213,8 @@ class Genome
     long deleteNodeIfAllowed(const NeatConfig &cfg, XorWow &rng);
 
     int key_ = -1;
-    std::map<int, NodeGene> nodes_;
-    std::map<ConnKey, ConnectionGene> connections_;
+    NodeGeneMap nodes_;
+    ConnGeneMap connections_;
     std::optional<double> fitness_;
     /** Counter backing the EvE Delete Gene Engine liveness threshold. */
     int nodeDeletions_ = 0;

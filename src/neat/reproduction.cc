@@ -11,20 +11,25 @@ namespace genesys::neat
 namespace
 {
 
+/** Keys of `b` absent from `a` (both arrays sorted): one merge pass. */
+template <typename Key>
+size_t
+countMissing(const std::vector<Key> &a, const std::vector<Key> &b)
+{
+    size_t n = 0;
+    mergeJoinSorted(
+        a, b, [](size_t, size_t) {}, [](size_t) {},
+        [&n](size_t) { ++n; });
+    return n;
+}
+
 /** Size of the union of two genomes' gene keys (aligned stream). */
 size_t
 alignedStreamLength(const Genome &a, const Genome &b)
 {
-    size_t n = a.numNodeGenes() + a.numConnectionGenes();
-    for (const auto &[nk, ng] : b.nodes()) {
-        if (!a.nodes().count(nk))
-            ++n;
-    }
-    for (const auto &[ck, cg] : b.connections()) {
-        if (!a.connections().count(ck))
-            ++n;
-    }
-    return n;
+    return a.numNodeGenes() + a.numConnectionGenes() +
+           countMissing(a.nodes().keys(), b.nodes().keys()) +
+           countMissing(a.connections().keys(), b.connections().keys());
 }
 
 } // namespace
@@ -151,9 +156,36 @@ Reproduction::reproduce(SpeciesSet &species,
 
     std::map<int, Genome> new_population;
 
+    // computeSpawn normalizes with lround, so the per-species amounts
+    // (each already >= elitism via min_species_size) can sum past the
+    // population size. Shave the overflow deterministically from the
+    // least-fit species first (`remaining` is in ascending species
+    // fitness order), keeping each species' elites while any species
+    // still has non-elite spawn to give up; a no-op whenever the
+    // rounded total already fits — the common case.
+    std::vector<int> spawns(remaining.size());
+    int spawn_total = 0;
+    for (size_t si = 0; si < remaining.size(); ++si) {
+        spawns[si] = std::max(spawn_amounts[si], cfg_.elitism);
+        spawn_total += spawns[si];
+    }
+    const auto shave_down_to = [&](int floor) {
+        for (size_t si = 0;
+             spawn_total > cfg_.populationSize && si < spawns.size();) {
+            if (spawns[si] > floor) {
+                --spawns[si];
+                --spawn_total;
+            } else {
+                ++si;
+            }
+        }
+    };
+    shave_down_to(cfg_.elitism); // spare elites while possible
+    shave_down_to(0);            // cut elites only if they alone overflow
+
     for (size_t si = 0; si < remaining.size(); ++si) {
         const Species &sp = species.species().at(remaining[si]);
-        int spawn = std::max(spawn_amounts[si], cfg_.elitism);
+        int spawn = spawns[si];
 
         // Rank members by fitness (descending; key as tiebreak for
         // determinism).
@@ -240,6 +272,11 @@ Reproduction::reproduce(SpeciesSet &species,
             new_population.emplace(child_key, std::move(child));
         }
     }
+    GENESYS_ASSERT(new_population.size() <=
+                       static_cast<size_t>(cfg_.populationSize),
+                   "reproduction overshot populationSize: "
+                       << new_population.size() << " > "
+                       << cfg_.populationSize);
     return new_population;
 }
 

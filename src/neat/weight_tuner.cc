@@ -11,7 +11,7 @@ Genome
 WeightTuner::perturb(const Genome &g, double sigma, XorWow &rng) const
 {
     Genome out = g;
-    for (auto &[nk, ng] : out.mutableNodes()) {
+    for (NodeGene &ng : out.mutableNodes().mutableValues()) {
         ng.bias = neatCfg_.bias.clamp(ng.bias +
                                       rng.gaussian(0.0, sigma));
         if (neatCfg_.response.mutateRate > 0.0 ||
@@ -20,7 +20,7 @@ WeightTuner::perturb(const Genome &g, double sigma, XorWow &rng) const
                 ng.response + rng.gaussian(0.0, sigma * 0.25));
         }
     }
-    for (auto &[ck, cg] : out.mutableConnections()) {
+    for (ConnectionGene &cg : out.mutableConnections().mutableValues()) {
         cg.weight = neatCfg_.weight.clamp(cg.weight +
                                           rng.gaussian(0.0, sigma));
     }

@@ -12,7 +12,7 @@ namespace genesys::nn
 namespace
 {
 
-/** One enabled connection, flattened out of the gene map. */
+/** One enabled connection, flattened out of the gene array. */
 struct FlatEdge
 {
     int32_t srcIdx; ///< compressed source index, -1 if out of graph
@@ -43,24 +43,55 @@ CompiledPlan::compile(const Genome &genome, const NeatConfig &cfg)
 
     // --- key compression -------------------------------------------------
     // Index space: inputs -numInputs..-1 first (ascending key), then
-    // every node gene (ascending key; all keys >= 0). The vector is
-    // globally sorted, so lookups are binary searches.
+    // every node gene (ascending key; all keys >= 0). The genome's
+    // flat SoA storage already holds the node keys as one sorted
+    // contiguous array, so this is two bulk copies — no per-gene tree
+    // walk — and lookups are binary searches over a dense vector.
     const int num_inputs = cfg.numInputs;
+    const auto &node_keys = genome.nodes().keys();
+    const auto &node_genes = genome.nodes().values();
     std::vector<int> keys;
     std::vector<const neat::NodeGene *> genes;
-    keys.reserve(static_cast<size_t>(num_inputs) +
-                 genome.nodes().size());
+    keys.reserve(static_cast<size_t>(num_inputs) + node_keys.size());
     genes.reserve(keys.capacity());
     for (int i = num_inputs; i >= 1; --i) {
         keys.push_back(-i);
         genes.push_back(nullptr);
     }
-    for (const auto &[nk, ng] : genome.nodes()) {
-        keys.push_back(nk);
+    keys.insert(keys.end(), node_keys.begin(), node_keys.end());
+    for (const neat::NodeGene &ng : node_genes)
         genes.push_back(&ng);
-    }
     const int num_vertices = static_cast<int>(keys.size());
-    const auto index_of = [&keys](int key) -> int32_t {
+
+    // Key -> index lookup. The edge-endpoint lookups, two per
+    // connection, were the dominant cost of compiling dense genomes,
+    // so when the key space is dense use a direct-address table
+    // (O(1) per lookup). Node ids are issued by a run-global indexer
+    // and never reused, so late-run genomes can hold a few hundred
+    // genes with ids in the hundreds of thousands — there the table
+    // would cost more to zero than the searches it saves, so fall
+    // back to binary search over the sorted key array.
+    const int max_key = node_keys.empty() ? -1 : node_keys.back();
+    const size_t table_size =
+        static_cast<size_t>(num_inputs + std::max(max_key, -1) + 1);
+    const bool dense =
+        table_size <= 4 * static_cast<size_t>(num_vertices) + 64;
+    std::vector<int32_t> key_to_index;
+    if (dense) {
+        key_to_index.assign(table_size, -1);
+        for (int v = 0; v < num_vertices; ++v)
+            key_to_index[static_cast<size_t>(
+                keys[static_cast<size_t>(v)] + num_inputs)] = v;
+    }
+    const auto index_of = [&](int key) -> int32_t {
+        if (dense) {
+            const auto pos = static_cast<size_t>(key + num_inputs);
+            // Out-of-range keys are dangling references (below the
+            // input range or above every node key): not in the graph.
+            if (key < -num_inputs || pos >= key_to_index.size())
+                return -1;
+            return key_to_index[pos];
+        }
         auto it = std::lower_bound(keys.begin(), keys.end(), key);
         if (it == keys.end() || *it != key)
             return -1;
@@ -68,19 +99,20 @@ CompiledPlan::compile(const Genome &genome, const NeatConfig &cfg)
     };
 
     // --- flatten enabled edges -------------------------------------------
-    // The gene map iterates in (src, dst) order, so edges grouped by
-    // destination later come out in ascending source order — the
+    // The gene array is stored in (src, dst) order, so edges grouped
+    // by destination later come out in ascending source order — the
     // interpreter's per-node link order, which activate() must
-    // reproduce for bit-identical accumulation.
+    // reproduce for bit-identical accumulation. This is a single
+    // contiguous walk over the connection SoA array.
     std::vector<FlatEdge> edges;
     edges.reserve(genome.connections().size());
-    for (const auto &[ck, cg] : genome.connections()) {
+    for (const neat::ConnectionGene &cg : genome.connections().values()) {
         if (!cg.enabled)
             continue;
-        const int32_t dst = index_of(ck.second);
+        const int32_t dst = index_of(cg.key.second);
         if (dst < 0)
             continue; // dangling destination: nothing to evaluate
-        edges.push_back({index_of(ck.first), dst, cg.weight});
+        edges.push_back({index_of(cg.key.first), dst, cg.weight});
     }
 
     // --- adjacency (CSR over compressed indices) --------------------------

@@ -15,7 +15,7 @@ analyzeGenome(const Genome &genome, const NeatConfig &cfg)
     GenomeAnalysis out;
 
     // One pass over the connection genes builds the adjacency both
-    // walks run on; nothing below touches the gene maps again.
+    // walks run on; nothing below touches the gene storage again.
     std::map<int, std::vector<int>> in_of;  // dst -> enabled sources
     std::map<int, std::vector<int>> out_of; // src -> enabled dests
     for (const auto &[ck, cg] : genome.connections()) {

@@ -1,7 +1,46 @@
 #include "nn/plan_cache.hh"
 
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+
 namespace genesys::nn
 {
+
+uint64_t
+PlanCache::fingerprintOf(const neat::Genome &genome)
+{
+    // O(1) digest: gene counts, the last key of each sorted array,
+    // and weight-sensitive terms (last connection weight, last node
+    // bias) so a same-key genome whose attributes were rewritten
+    // (e.g. by WeightTuner) is caught too, not just structural
+    // divergence. Collisions across all terms are possible but
+    // vanishingly unlikely for the misuse this guards.
+    const auto &nk = genome.nodes().keys();
+    const auto &ck = genome.connections().keys();
+    uint64_t fp = (static_cast<uint64_t>(nk.size()) << 48) ^
+                  (static_cast<uint64_t>(ck.size()) << 32);
+    if (!nk.empty()) {
+        fp ^= static_cast<uint64_t>(static_cast<uint32_t>(nk.back()));
+        fp ^= std::rotr(std::bit_cast<uint64_t>(
+                            genome.nodes().values().back().bias),
+                        31);
+    }
+    if (!ck.empty()) {
+        fp ^= static_cast<uint64_t>(
+                  static_cast<uint32_t>(ck.back().first))
+              << 16;
+        fp ^= static_cast<uint64_t>(
+                  static_cast<uint32_t>(ck.back().second))
+              << 8;
+        fp ^= std::rotr(
+            std::bit_cast<uint64_t>(
+                genome.connections().values().back().weight),
+            17);
+    }
+    return fp;
+}
 
 void
 PlanCache::beginGeneration()
@@ -10,24 +49,60 @@ PlanCache::beginGeneration()
     plans_.clear();
 }
 
+void
+PlanCache::beginGeneration(const std::vector<int> &survivingKeys)
+{
+    std::vector<int> sorted = survivingKeys;
+    std::sort(sorted.begin(), sorted.end());
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = plans_.begin(); it != plans_.end();) {
+        if (std::binary_search(sorted.begin(), sorted.end(), it->first)) {
+            ++carriedOver_;
+            ++it;
+        } else {
+            it = plans_.erase(it);
+        }
+    }
+}
+
 std::shared_ptr<const CompiledPlan>
 PlanCache::acquire(int genomeKey, const neat::Genome &genome,
                    const neat::NeatConfig &cfg)
 {
+    const uint64_t fp = fingerprintOf(genome);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = plans_.find(genomeKey);
         if (it != plans_.end()) {
+            GENESYS_ASSERT(it->second.fingerprint == fp,
+                           "plan cache hit on key "
+                               << genomeKey
+                               << " for a structurally different "
+                                  "genome — genome keys must be "
+                                  "unique for a cache's lifetime");
             ++hits_;
-            return it->second;
+            return it->second.plan;
         }
     }
     auto plan = std::make_shared<const CompiledPlan>(
         CompiledPlan::compile(genome, cfg));
     std::lock_guard<std::mutex> lock(mutex_);
-    ++compiles_;
-    auto [it, inserted] = plans_.emplace(genomeKey, std::move(plan));
-    return it->second;
+    auto [it, inserted] =
+        plans_.emplace(genomeKey, Entry{std::move(plan), fp});
+    // Only the winning insert is a compile that exists; a racing
+    // thread's duplicate is discarded and must not inflate the
+    // observability counter.
+    if (inserted) {
+        ++compiles_;
+    } else {
+        GENESYS_ASSERT(it->second.fingerprint == fp,
+                       "racing compiles for key "
+                           << genomeKey
+                           << " saw structurally different genomes");
+        ++racesDiscarded_;
+    }
+    return it->second.plan;
 }
 
 size_t
@@ -49,6 +124,20 @@ PlanCache::hits() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return hits_;
+}
+
+long
+PlanCache::carriedOver() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return carriedOver_;
+}
+
+long
+PlanCache::racesDiscarded() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return racesDiscarded_;
 }
 
 } // namespace genesys::nn

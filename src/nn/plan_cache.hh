@@ -1,13 +1,19 @@
 /**
  * @file
- * Per-generation compiled-plan cache. A NEAT generation evaluates
- * every genome over several episodes (and, under the parallel
- * engine, potentially from several threads); the cache guarantees
- * each genome is compiled exactly once per generation and the
+ * Compiled-plan cache with cross-generation elite carry-over. A NEAT
+ * generation evaluates every genome over several episodes (and,
+ * under the parallel engine, potentially from several threads); the
+ * cache guarantees each genome is compiled exactly once and the
  * resulting immutable CompiledPlan is shared read-only by every
  * consumer — episode loops, the hardware-model workload accounting,
- * replay. beginGeneration() drops the previous generation's plans,
- * so the cache never outgrows the population size.
+ * replay.
+ *
+ * Elite genomes are copied unchanged into the next generation under
+ * the same globally-unique key — on chip they simply stay resident
+ * in the Genome Buffer with no EvE work. beginGeneration(surviving)
+ * mirrors that: plans whose key reappears in the next generation are
+ * carried over, so elites incur zero recompiles, while every other
+ * plan is dropped and the cache never outgrows the population size.
  */
 
 #ifndef GENESYS_NN_PLAN_CACHE_HH
@@ -16,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "nn/compiled_plan.hh"
 
@@ -25,13 +32,23 @@ namespace genesys::nn
 /**
  * Thread-safe map from genome key to its compiled plan. Keys are
  * globally unique within a run, so a key fully identifies a genome's
- * structure for the duration of one generation.
+ * structure: the same key in a later generation is the same genome
+ * (an elite), and its plan is still valid.
  */
 class PlanCache
 {
   public:
     /** Start a new generation: drop every cached plan. */
     void beginGeneration();
+
+    /**
+     * Start a new generation, keeping plans whose genome key appears
+     * in `survivingKeys` (the new generation's keys — only elites
+     * overlap, since children always get fresh keys). Everything
+     * else is dropped, so the cache stays bounded by the generation
+     * size while elites skip recompilation entirely.
+     */
+    void beginGeneration(const std::vector<int> &survivingKeys);
 
     /**
      * The plan for `genome`, compiling it on first request.
@@ -46,16 +63,43 @@ class PlanCache
     /** Plans currently cached (bounded by the generation size). */
     size_t size() const;
 
-    /** Lifetime compile count — the leak/dedup observability hook. */
+    /**
+     * Lifetime count of compiles that entered the cache — the
+     * leak/dedup observability hook. Racing compiles that lost the
+     * insert are tallied separately (racesDiscarded()), so this is
+     * exactly the number of distinct (generation, key) compilations.
+     */
     long compiles() const;
     /** Lifetime cache-hit count. */
     long hits() const;
+    /** Lifetime count of plans carried across generations (elites). */
+    long carriedOver() const;
+    /** Lifetime count of same-key compile races whose result was dropped. */
+    long racesDiscarded() const;
 
   private:
+    /**
+     * A cached plan plus a cheap structural fingerprint of the
+     * genome it was compiled from. Carry-over rests on run-global
+     * key uniqueness; the fingerprint turns a violated precondition
+     * (e.g. one engine reused across independent populations whose
+     * key counters both start at 0) into an assertion instead of a
+     * silently wrong phenotype.
+     */
+    struct Entry
+    {
+        std::shared_ptr<const CompiledPlan> plan;
+        uint64_t fingerprint = 0;
+    };
+
+    static uint64_t fingerprintOf(const neat::Genome &genome);
+
     mutable std::mutex mutex_;
-    std::map<int, std::shared_ptr<const CompiledPlan>> plans_;
+    std::map<int, Entry> plans_;
     long compiles_ = 0;
     long hits_ = 0;
+    long carriedOver_ = 0;
+    long racesDiscarded_ = 0;
 };
 
 } // namespace genesys::nn

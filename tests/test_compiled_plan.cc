@@ -88,7 +88,7 @@ fuzzGenome(const NeatConfig &cfg, XorWow &rng, bool allow_cycles)
         g.mutate(cfg, idx, rng);
 
     // Disable a few random connections outright.
-    for (auto &[ck, cg] : g.mutableConnections()) {
+    for (auto &&[ck, cg] : g.mutableConnections()) {
         if (rng.bernoulli(0.1))
             cg.enabled = false;
     }

@@ -87,9 +87,9 @@ TEST(EvePe, CrossoverSelectsAttributesFromBothParents)
     cfg.weight.initStdev = 0.0;
     auto p1 = makeParent(cfg, 0, 3);
     auto p2 = p1;
-    for (auto &[k, c] : p1.mutableConnections())
+    for (auto &&[k, c] : p1.mutableConnections())
         c.weight = 4.0;
-    for (auto &[k, c] : p2.mutableConnections())
+    for (auto &&[k, c] : p2.mutableConnections())
         c.weight = -4.0;
 
     EvePe pe(codec, quietPe(), 11);
@@ -115,9 +115,9 @@ TEST(EvePe, CrossoverBiasIsProgrammable)
     auto cfg = hwConfig();
     auto p1 = makeParent(cfg, 0, 4);
     auto p2 = p1;
-    for (auto &[k, c] : p1.mutableConnections())
+    for (auto &&[k, c] : p1.mutableConnections())
         c.weight = 4.0;
-    for (auto &[k, c] : p2.mutableConnections())
+    for (auto &&[k, c] : p2.mutableConnections())
         c.weight = -4.0;
 
     PeConfig pcfg = quietPe();

@@ -127,9 +127,9 @@ TEST(Genome, CrossoverAttributeValuesComeFromParents)
     XorWow rng(6);
     auto p1 = Genome::createNew(1, cfg, idx, rng);
     auto p2 = Genome::createNew(2, cfg, idx, rng);
-    for (auto &[k, c] : p1.mutableConnections())
+    for (auto &&[k, c] : p1.mutableConnections())
         c.weight = 5.0;
-    for (auto &[k, c] : p2.mutableConnections())
+    for (auto &&[k, c] : p2.mutableConnections())
         c.weight = -5.0;
     const auto child = Genome::crossover(3, p1, p2, rng);
     for (const auto &[k, c] : child.connections())
@@ -182,7 +182,7 @@ TEST(Genome, DistanceWeightCoefficientScalesHomologous)
     auto a = Genome::createNew(0, cfg, idx, rng);
     auto b = a;
     b.setKey(1);
-    for (auto &[k, c] : b.mutableConnections())
+    for (auto &&[k, c] : b.mutableConnections())
         c.weight += 2.0;
     // 6 connections each with |dw|=2 * 0.5 coeff / 6 genes = 1.0.
     EXPECT_NEAR(a.distance(b, cfg), 1.0, 1e-9);
@@ -190,7 +190,7 @@ TEST(Genome, DistanceWeightCoefficientScalesHomologous)
 
 TEST(Genome, CreatesCycleDetection)
 {
-    std::map<ConnKey, ConnectionGene> conns;
+    ConnGeneMap conns;
     auto add = [&conns](int a, int b) {
         ConnectionGene g;
         g.key = {a, b};

@@ -89,9 +89,9 @@ TEST_F(PeStatsFixture, CrossoverSelectionIsUnbiasedAtHalf)
     // Parents with distinguishable weights.
     auto p1 = parent;
     auto p2 = parent;
-    for (auto &[k, c] : p1.mutableConnections())
+    for (auto &&[k, c] : p1.mutableConnections())
         c.weight = 2.0;
-    for (auto &[k, c] : p2.mutableConnections())
+    for (auto &&[k, c] : p2.mutableConnections())
         c.weight = -2.0;
     const auto s = alignStreams(codec.encodeGenome(p1, cfg),
                                 codec.encodeGenome(p2, cfg), codec);

@@ -1,13 +1,17 @@
 /**
  * @file
- * Tests for the per-generation compiled-plan cache and its behaviour
- * under the parallel evaluation engine: one compile per genome per
- * generation, read-only plan sharing across 1/2/8 worker threads
- * with bit-identical results, and a cache bounded by the population
- * size (no leak across generations).
+ * Tests for the compiled-plan cache and its behaviour under the
+ * parallel evaluation engine: one compile per genome — ever, since
+ * elite plans carry across generations — read-only plan sharing
+ * across 1/2/8 worker threads with bit-identical results, race-free
+ * compile counters, and a cache bounded by the population size (no
+ * leak across generations).
  */
 
 #include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
 
 #include "core/genesys.hh"
 #include "exec/eval_engine.hh"
@@ -99,6 +103,78 @@ TEST(PlanCacheTest, PlanOutlivesCacheEviction)
     EXPECT_EQ(plan->activate({0.1, 0.2, 0.3, 0.4}), expect);
 }
 
+TEST(PlanCacheTest, BeginGenerationCarriesOverSurvivingKeys)
+{
+    const auto [cfg, genomes] = makeGenomes(3, 67);
+    PlanCache cache;
+    const auto p0 = cache.acquire(0, genomes[0], cfg);
+    cache.acquire(1, genomes[1], cfg);
+    cache.acquire(2, genomes[2], cfg);
+    ASSERT_EQ(cache.compiles(), 3);
+
+    // Keys 0 and 5 survive into the next generation; only 0 is
+    // cached, so one plan is carried over and the rest are dropped.
+    cache.beginGeneration(std::vector<int>{0, 5});
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.carriedOver(), 1);
+
+    // The surviving key is a hit on the same plan object — an elite
+    // costs zero recompiles.
+    const auto again = cache.acquire(0, genomes[0], cfg);
+    EXPECT_EQ(again.get(), p0.get());
+    EXPECT_EQ(cache.compiles(), 3);
+    EXPECT_EQ(cache.hits(), 1);
+
+    // A dropped key compiles afresh.
+    cache.acquire(1, genomes[1], cfg);
+    EXPECT_EQ(cache.compiles(), 4);
+}
+
+TEST(PlanCacheTest, RacingCompilesOnOneKeyCountAsOneCompile)
+{
+    // N threads race acquire() on the same fresh key: every thread
+    // must get the same shared plan, and the compile counter must
+    // report exactly one cache-entering compile — losers are tallied
+    // as discarded races (or late hits), never as compiles.
+    const auto [cfg, genomes] = makeGenomes(1, 71);
+    PlanCache cache;
+
+    constexpr int kThreads = 16;
+    std::vector<std::shared_ptr<const CompiledPlan>> plans(kThreads);
+    {
+        std::vector<std::thread> workers;
+        workers.reserve(kThreads);
+        for (int t = 0; t < kThreads; ++t) {
+            workers.emplace_back([&, t] {
+                plans[static_cast<size_t>(t)] =
+                    cache.acquire(0, genomes[0], cfg);
+            });
+        }
+        for (auto &w : workers)
+            w.join();
+    }
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(plans[static_cast<size_t>(t)].get(), plans[0].get());
+    EXPECT_EQ(cache.compiles(), 1);
+    EXPECT_EQ(cache.size(), 1u);
+    // Every acquire is accounted for exactly once.
+    EXPECT_EQ(cache.hits() + cache.compiles() + cache.racesDiscarded(),
+              kThreads);
+}
+
+TEST(PlanCacheTest, HitOnAStructurallyDifferentGenomeIsAnError)
+{
+    // Carry-over rests on genome keys being unique for the cache's
+    // lifetime. Reusing one cache across independent runs (both
+    // numbering genomes from 0) must trip the fingerprint assertion
+    // instead of silently serving the first run's phenotype.
+    const auto [cfg, genomes] = makeGenomes(2, 79);
+    ASSERT_NE(genomes[0].numGenes(), genomes[1].numGenes());
+    PlanCache cache;
+    cache.acquire(0, genomes[0], cfg);
+    EXPECT_ANY_THROW(cache.acquire(0, genomes[1], cfg));
+}
+
 // --- cache under the parallel engine -----------------------------------------
 
 TEST(PlanCacheEngineTest, OneCompilePerGenomePerGeneration)
@@ -131,8 +207,9 @@ TEST(PlanCacheEngineTest, OneCompilePerGenomePerGeneration)
 TEST(PlanCacheEngineTest, CacheBoundedAcrossGenerations)
 {
     // Re-submitting batches (new generations) must not accumulate
-    // plans: the cache is cleared per generation, so its size stays
-    // bounded by the population size.
+    // plans: the cache is pruned to the submitted keys each
+    // generation (all-fresh keys here, so nothing carries over) and
+    // its size stays bounded by the population size.
     const auto [cfg, genomes] = makeGenomes(10, 59);
 
     EvalEngineConfig ecfg;
@@ -156,6 +233,89 @@ TEST(PlanCacheEngineTest, CacheBoundedAcrossGenerations)
     EXPECT_EQ(engine.planCache().size(), genomes.size());
     EXPECT_EQ(engine.planCache().compiles(),
               static_cast<long>(5 * genomes.size()));
+}
+
+TEST(PlanCacheEngineTest, ElitesCompileExactlyOnceAcrossGenerations)
+{
+    // Keys 0 and 1 reappear in every generation (elite semantics: a
+    // genome copied unchanged under the same key). Their plans must
+    // carry over — the paper's "elite = no EvE work, genome stays in
+    // the Genome Buffer" — while every fresh key compiles once.
+    const auto [cfg, genomes] = makeGenomes(8, 73);
+
+    EvalEngineConfig ecfg;
+    ecfg.envName = "CartPole_v0";
+    ecfg.numThreads = 4;
+    ecfg.episodes = 2;
+    EvalEngine engine(ecfg);
+
+    constexpr int kGenerations = 5;
+    std::shared_ptr<const CompiledPlan> elitePlan0;
+    for (int gen = 0; gen < kGenerations; ++gen) {
+        std::vector<neat::GenomeHandle> handles;
+        handles.push_back({0, &genomes[0]}); // elites
+        handles.push_back({1, &genomes[1]});
+        for (size_t i = 2; i < genomes.size(); ++i)
+            handles.push_back(
+                {100 * (gen + 1) + static_cast<int>(i), &genomes[i]});
+        const auto results = engine.evaluateGeneration(
+            handles, cfg, EvalEngine::sharedEpisodeSeeds(5));
+        if (gen == 0)
+            elitePlan0 = results[0].plan;
+        // The elite keeps the very same plan object forever.
+        EXPECT_EQ(results[0].plan.get(), elitePlan0.get())
+            << "generation " << gen;
+        EXPECT_LE(engine.planCache().size(), genomes.size());
+    }
+
+    // 2 elite compiles + 6 fresh keys per generation; zero elite
+    // recompiles across all later generations.
+    const long expected_compiles =
+        2 + kGenerations * (static_cast<long>(genomes.size()) - 2);
+    EXPECT_EQ(engine.planCache().compiles(), expected_compiles);
+    EXPECT_EQ(engine.planCache().carriedOver(),
+              2L * (kGenerations - 1));
+}
+
+TEST(PlanCacheEngineTest, FullEvolutionLoopNeverRecompilesAnyGenome)
+{
+    // Whole Population loop: across N generations, the number of
+    // compiles must equal the number of distinct genome keys ever
+    // submitted — elites (same key re-submitted after their fitness
+    // is cleared) re-evaluate without recompiling.
+    auto env = env::makeEnvironment("CartPole_v0");
+    neat::NeatConfig cfg = env::configForEnvironment(*env);
+    cfg.populationSize = 16;
+    cfg.fitnessThreshold = 1e18; // never solve: run all generations
+
+    EvalEngineConfig ecfg;
+    ecfg.envName = "CartPole_v0";
+    ecfg.numThreads = 4;
+    ecfg.episodes = 2;
+    EvalEngine engine(ecfg);
+
+    neat::Population pop(cfg, 2027);
+    std::set<int> distinct_keys;
+    pop.runBatch(
+        [&](const std::vector<neat::GenomeHandle> &batch) {
+            for (const auto &h : batch)
+                distinct_keys.insert(h.key);
+            const auto results = engine.evaluateGeneration(
+                batch, cfg, EvalEngine::sharedEpisodeSeeds(9));
+            std::vector<double> fits;
+            fits.reserve(results.size());
+            for (const auto &r : results)
+                fits.push_back(r.detail.fitness);
+            return fits;
+        },
+        6);
+
+    EXPECT_EQ(engine.planCache().compiles(),
+              static_cast<long>(distinct_keys.size()));
+    // With cfg.elitism = 2 elites per species surviving each of the 5
+    // reproductions, plans were carried across generations.
+    EXPECT_GE(engine.planCache().carriedOver(), 5);
+    EXPECT_EQ(engine.planCache().racesDiscarded(), 0);
 }
 
 TEST(PlanCacheEngineTest, SharedPlansBitIdenticalAcross128Threads)
