@@ -14,6 +14,7 @@
 #include "hw/gene_split.hh"
 #include "nn/compiled_plan.hh"
 #include "nn/levelize.hh"
+#include "nn/recurrent.hh"
 
 using namespace genesys;
 using namespace genesys::neat;
@@ -301,6 +302,274 @@ BM_EvalPathCompiled64Hidden(benchmark::State &state)
 }
 BENCHMARK(BM_EvalPathCompiled64Hidden)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
 
+// --- batched episode lanes ---------------------------------------------------
+// The per-genome episode-batching axis: one shared plan, kLanes
+// concurrent episode lanes, the per-edge accumulation loop running
+// contiguously across lanes (CompiledPlan::activateBatch). Serial and
+// batched variants both retire kLanes * steps forward passes per
+// iteration (plus the one per-generation compile), so items_per_second
+// compares directly: batched / serial = the episode-batching speedup
+// the engine realizes per genome.
+
+constexpr int kCmpLanes = 8;
+
+namespace
+{
+
+/** Batched lanes must match serial activations before any timing. */
+void
+assertBatchMatchesSerial(const nn::CompiledPlan &plan,
+                         const NeatConfig &cfg, uint64_t seed)
+{
+    XorWow rng(seed);
+    nn::PlanScratch serial;
+    nn::BatchScratch batch;
+    plan.beginBatch(kCmpLanes, batch);
+    std::vector<uint8_t> active(kCmpLanes, 1);
+    for (int t = 0; t < 4; ++t) {
+        std::vector<std::vector<double>> lane_in(kCmpLanes);
+        for (int l = 0; l < kCmpLanes; ++l) {
+            lane_in[static_cast<size_t>(l)].resize(
+                static_cast<size_t>(cfg.numInputs));
+            for (auto &x : lane_in[static_cast<size_t>(l)])
+                x = rng.uniform(-3.0, 3.0);
+            for (int i = 0; i < cfg.numInputs; ++i)
+                batch.inputs[static_cast<size_t>(i) * kCmpLanes +
+                             static_cast<size_t>(l)] =
+                    lane_in[static_cast<size_t>(l)][static_cast<size_t>(i)];
+        }
+        plan.activateBatch(kCmpLanes, active.data(), batch);
+        for (int l = 0; l < kCmpLanes; ++l) {
+            plan.activate(lane_in[static_cast<size_t>(l)], serial);
+            for (size_t o = 0; o < serial.outputs.size(); ++o) {
+                GENESYS_ASSERT(
+                    std::bit_cast<uint64_t>(
+                        batch.outputs[o * kCmpLanes +
+                                      static_cast<size_t>(l)]) ==
+                        std::bit_cast<uint64_t>(serial.outputs[o]),
+                    "batched/serial outputs diverge at lane "
+                        << l << " output " << o);
+            }
+        }
+    }
+}
+
+} // namespace
+
+namespace
+{
+
+/** Serial baseline: compile once, run kCmpLanes episodes one at a time. */
+void
+evalPathSerialEpisodes(benchmark::State &state, const NeatConfig &cfg,
+                       const Genome &g)
+{
+    {
+        const auto plan = nn::CompiledPlan::compile(g, cfg);
+        assertBatchMatchesSerial(plan, cfg, kCmpSeed + 2);
+    }
+    const auto steps = static_cast<int>(state.range(0));
+    std::vector<double> inputs(static_cast<size_t>(cfg.numInputs), 0.5);
+    nn::PlanScratch scratch;
+    nn::CompileScratch compile_scratch;
+    for (auto _ : state) {
+        // kCmpLanes episodes, one at a time — the engine's episode
+        // loop before batching.
+        const auto plan =
+            nn::CompiledPlan::compile(g, cfg, compile_scratch);
+        for (int e = 0; e < kCmpLanes; ++e) {
+            for (int s = 0; s < steps; ++s) {
+                plan.activate(inputs, scratch);
+                benchmark::DoNotOptimize(scratch.outputs.data());
+            }
+        }
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            steps * kCmpLanes); // steps/s
+}
+
+/** Batched path: the same kCmpLanes episodes in BSP lockstep. */
+void
+evalPathBatchedEpisodes(benchmark::State &state, const NeatConfig &cfg,
+                        const Genome &g)
+{
+    {
+        const auto plan = nn::CompiledPlan::compile(g, cfg);
+        assertBatchMatchesSerial(plan, cfg, kCmpSeed + 2);
+    }
+    const auto steps = static_cast<int>(state.range(0));
+    nn::BatchScratch scratch;
+    nn::CompileScratch compile_scratch;
+    std::vector<uint8_t> active(kCmpLanes, 1);
+    for (auto _ : state) {
+        const auto plan =
+            nn::CompiledPlan::compile(g, cfg, compile_scratch);
+        plan.beginBatch(kCmpLanes, scratch);
+        std::fill(scratch.inputs.begin(), scratch.inputs.end(), 0.5);
+        for (int s = 0; s < steps; ++s) {
+            plan.activateBatch(kCmpLanes, active.data(), scratch);
+            benchmark::DoNotOptimize(scratch.outputs.data());
+        }
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            steps * kCmpLanes); // steps/s
+}
+
+} // namespace
+
+static void
+BM_EvalPathSerialEpisodes64Hidden(benchmark::State &state)
+{
+    const auto cfg = benchConfig(kCmpInputs, kCmpOutputs);
+    evalPathSerialEpisodes(state, cfg,
+                           denseGenome(cfg, kCmpHidden, kCmpSeed));
+}
+BENCHMARK(BM_EvalPathSerialEpisodes64Hidden)->Arg(25)->Arg(50)->Arg(100);
+
+static void
+BM_EvalPathBatchedEpisodes64Hidden(benchmark::State &state)
+{
+    const auto cfg = benchConfig(kCmpInputs, kCmpOutputs);
+    evalPathBatchedEpisodes(state, cfg,
+                            denseGenome(cfg, kCmpHidden, kCmpSeed));
+}
+BENCHMARK(BM_EvalPathBatchedEpisodes64Hidden)->Arg(25)->Arg(50)->Arg(100);
+
+// Atari-RAM scale: Table I's RAM environments observe 128 bytes, so
+// their policies carry 128 inputs — there the per-step cost is
+// accumulate-bound (8.4k edges vs 68 libm calls on this shape) and
+// episode batching pays off hardest. The 8-input CartPole-scale pair
+// above bounds the other end, where per-lane libm activation calls
+// (fixed by the bit-identity contract) cap the gain.
+
+constexpr int kAtariInputs = 128;
+constexpr int kAtariOutputs = 6;
+
+static void
+BM_EvalPathSerialEpisodesAtariScale(benchmark::State &state)
+{
+    const auto cfg = benchConfig(kAtariInputs, kAtariOutputs);
+    evalPathSerialEpisodes(state, cfg,
+                           denseGenome(cfg, kCmpHidden, kCmpSeed));
+}
+BENCHMARK(BM_EvalPathSerialEpisodesAtariScale)->Arg(25)->Arg(50)->Arg(100);
+
+static void
+BM_EvalPathBatchedEpisodesAtariScale(benchmark::State &state)
+{
+    const auto cfg = benchConfig(kAtariInputs, kAtariOutputs);
+    evalPathBatchedEpisodes(state, cfg,
+                            denseGenome(cfg, kCmpHidden, kCmpSeed));
+}
+BENCHMARK(BM_EvalPathBatchedEpisodesAtariScale)->Arg(25)->Arg(50)->Arg(100);
+
+// --- recurrent: interpreter vs compiled plan ---------------------------------
+// The 64-hidden dense genome augmented with recurrent structure: a
+// self-loop on every fourth hidden node plus an output->hidden back
+// edge, evaluated with stateful tick semantics. Equality is asserted
+// tick for tick before timing — the recurrent bit-identity contract,
+// enforced in the bench binary itself.
+
+namespace
+{
+
+Genome
+recurrentBenchGenome(const NeatConfig &cfg)
+{
+    Genome g = denseGenome(cfg, kCmpHidden, kCmpSeed);
+    XorWow rng(kCmpSeed ^ 0x5EC5);
+    for (int h = 0; h < kCmpHidden; h += 4) {
+        ConnectionGene c;
+        c.key = {cfg.numOutputs + h, cfg.numOutputs + h};
+        c.weight = rng.gaussian() * 0.25;
+        g.mutableConnections().emplace(c.key, c);
+    }
+    ConnectionGene back;
+    back.key = {0, cfg.numOutputs}; // output 0 -> first hidden
+    back.weight = rng.gaussian() * 0.25;
+    g.mutableConnections().emplace(back.key, back);
+    return g;
+}
+
+void
+assertRecurrentPathsMatch(nn::RecurrentNetwork &net,
+                          const nn::CompiledPlan &plan,
+                          const NeatConfig &cfg, uint64_t seed)
+{
+    XorWow rng(seed);
+    nn::PlanScratch scratch;
+    net.reset();
+    plan.reset(scratch);
+    GENESYS_ASSERT(plan.macsPerInference() == net.macsPerInference(),
+                   "recurrent MAC counts diverge: plan "
+                       << plan.macsPerInference() << " vs interpreter "
+                       << net.macsPerInference());
+    for (int t = 0; t < 16; ++t) {
+        std::vector<double> in(static_cast<size_t>(cfg.numInputs));
+        for (auto &x : in)
+            x = rng.uniform(-3.0, 3.0);
+        const auto expect = net.activate(in);
+        plan.activateRecurrent(in, scratch);
+        for (size_t o = 0; o < expect.size(); ++o) {
+            GENESYS_ASSERT(std::bit_cast<uint64_t>(scratch.outputs[o]) ==
+                               std::bit_cast<uint64_t>(expect[o]),
+                           "recurrent interpreter/compiled outputs "
+                           "diverge at output "
+                               << o << " tick " << t);
+        }
+    }
+}
+
+} // namespace
+
+static void
+BM_RecurrentStepInterpreter64Hidden(benchmark::State &state)
+{
+    auto cfg = benchConfig(kCmpInputs, kCmpOutputs);
+    cfg.feedForward = false;
+    const auto g = recurrentBenchGenome(cfg);
+    auto net = nn::RecurrentNetwork::create(g, cfg);
+    const auto plan = nn::CompiledPlan::compileRecurrent(g, cfg);
+    assertRecurrentPathsMatch(net, plan, cfg, kCmpSeed + 3);
+
+    std::vector<double> inputs(net.numInputs(), 0.5);
+    net.reset();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(net.activate(inputs));
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations())); // ticks/s
+    state.counters["macs_per_step"] =
+        static_cast<double>(net.macsPerInference());
+}
+BENCHMARK(BM_RecurrentStepInterpreter64Hidden);
+
+static void
+BM_RecurrentStepCompiled64Hidden(benchmark::State &state)
+{
+    auto cfg = benchConfig(kCmpInputs, kCmpOutputs);
+    cfg.feedForward = false;
+    const auto g = recurrentBenchGenome(cfg);
+    auto net = nn::RecurrentNetwork::create(g, cfg);
+    const auto plan = nn::CompiledPlan::compileRecurrent(g, cfg);
+    assertRecurrentPathsMatch(net, plan, cfg, kCmpSeed + 3);
+
+    std::vector<double> inputs(plan.numInputs(), 0.5);
+    nn::PlanScratch scratch;
+    plan.reset(scratch);
+    for (auto _ : state) {
+        plan.activateRecurrent(inputs, scratch);
+        benchmark::DoNotOptimize(scratch.outputs.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations())); // ticks/s
+    state.counters["macs_per_step"] =
+        static_cast<double>(plan.macsPerInference());
+}
+BENCHMARK(BM_RecurrentStepCompiled64Hidden);
+
 static void
 BM_ActivateCompiledGrown(benchmark::State &state)
 {
@@ -356,6 +625,30 @@ BM_CompilePlan64Hidden(benchmark::State &state)
                             static_cast<int64_t>(g.numGenes()));
 }
 BENCHMARK(BM_CompilePlan64Hidden);
+
+static void
+BM_CompilePlan64HiddenReusedScratch(benchmark::State &state)
+{
+    // The production compile path: one per-thread CompileScratch
+    // reused across compiles (the plan cache's thread_local), so the
+    // ~15 working vectors allocate once and steady-state compilation
+    // is allocation-free. Compare against BM_CompilePlan64Hidden for
+    // the allocation overhead the scratch removes.
+    const auto cfg = benchConfig(kCmpInputs, kCmpOutputs);
+    const auto g = denseGenome(cfg, kCmpHidden, kCmpSeed);
+    {
+        const auto net = nn::FeedForwardNetwork::create(g, cfg);
+        const auto plan = nn::CompiledPlan::compile(g, cfg);
+        assertPathsMatch(net, plan, cfg, kCmpSeed + 1);
+    }
+    nn::CompileScratch scratch;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            nn::CompiledPlan::compile(g, cfg, scratch));
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(g.numGenes()));
+}
+BENCHMARK(BM_CompilePlan64HiddenReusedScratch);
 
 static void
 BM_NetworkCreate(benchmark::State &state)

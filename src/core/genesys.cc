@@ -28,6 +28,7 @@ System::System(SystemConfig cfg)
     ecfg.numThreads = cfg_.numThreads;
     ecfg.episodes = spec_.episodes;
     ecfg.waveWidth = cfg_.soc.numEvePe;
+    ecfg.batchEpisodes = cfg_.batchEpisodes;
     engine_ = std::make_unique<exec::EvalEngine>(std::move(ecfg));
 }
 
@@ -160,8 +161,9 @@ env::EpisodeResult
 System::replayBest(uint64_t seed)
 {
     GENESYS_ASSERT(population_->hasBest(), "no best genome yet");
-    const auto plan =
-        nn::CompiledPlan::compile(population_->bestGenome(), neatCfg_);
+    // compileFor: recurrent configs replay through a recurrent plan.
+    const auto plan = nn::CompiledPlan::compileFor(
+        population_->bestGenome(), neatCfg_);
     nn::PlanScratch scratch;
     env::EpisodeRunner runner(*env_, seed, 1);
     return runner.runEpisode(plan, scratch, seed);

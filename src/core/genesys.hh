@@ -37,6 +37,12 @@ struct SystemConfig
      * seed.
      */
     int numThreads = 1;
+    /**
+     * Step each genome's episodes in BSP lockstep waves through the
+     * batched compiled-plan kernel (see exec::EvalEngineConfig::
+     * batchEpisodes). Results are bit-identical either way.
+     */
+    bool batchEpisodes = true;
     /** Simulate the SoC alongside the algorithm? */
     bool simulateHardware = true;
     hw::SocParams soc{};

@@ -59,9 +59,21 @@ EpisodeRunner::runEpisode(const nn::FeedForwardNetwork &net, uint64_t seed)
 }
 
 EpisodeResult
+EpisodeRunner::runEpisode(nn::RecurrentNetwork &net, uint64_t seed)
+{
+    net.reset(); // episodes never share recurrent state
+    return runEpisodeWith(
+        *env_, seed, net.macsPerInference(),
+        [&net](const std::vector<double> &obs) {
+            return net.activate(obs);
+        });
+}
+
+EpisodeResult
 EpisodeRunner::runEpisode(const nn::CompiledPlan &plan,
                           nn::PlanScratch &scratch, uint64_t seed)
 {
+    plan.reset(scratch); // clears recurrent state; no-op feed-forward
     return runEpisodeWith(
         *env_, seed, plan.macsPerInference(),
         [&plan, &scratch](const std::vector<double> &obs)
@@ -75,12 +87,19 @@ double
 EpisodeRunner::evaluate(const neat::Genome &genome,
                         const neat::NeatConfig &cfg)
 {
-    const auto net = nn::FeedForwardNetwork::create(genome, cfg);
     double total = 0.0;
-    for (int e = 0; e < episodes_; ++e) {
-        total += runEpisode(net, deriveSeed(baseSeed_,
-                                            static_cast<uint64_t>(e)))
-                     .fitness;
+    auto accumulate = [&](auto &&episode) {
+        for (int e = 0; e < episodes_; ++e)
+            total += episode(deriveSeed(baseSeed_,
+                                        static_cast<uint64_t>(e)))
+                         .fitness;
+    };
+    if (cfg.feedForward) {
+        const auto net = nn::FeedForwardNetwork::create(genome, cfg);
+        accumulate([&](uint64_t s) { return runEpisode(net, s); });
+    } else {
+        auto net = nn::RecurrentNetwork::create(genome, cfg);
+        accumulate([&](uint64_t s) { return runEpisode(net, s); });
     }
     return total / static_cast<double>(episodes_);
 }
@@ -119,6 +138,12 @@ EpisodeRunner::evaluateDetailed(const neat::Genome &genome,
                                 const neat::NeatConfig &cfg,
                                 const std::vector<uint64_t> &episodeSeeds)
 {
+    if (!cfg.feedForward) {
+        auto net = nn::RecurrentNetwork::create(genome, cfg);
+        return evaluateDetailedWith(episodeSeeds, [&](uint64_t seed) {
+            return runEpisode(net, seed);
+        });
+    }
     const auto net = nn::FeedForwardNetwork::create(genome, cfg);
     return evaluateDetailedWith(episodeSeeds, [&](uint64_t seed) {
         return runEpisode(net, seed);
@@ -133,6 +158,108 @@ EpisodeRunner::evaluateDetailed(const nn::CompiledPlan &plan,
     return evaluateDetailedWith(episodeSeeds, [&](uint64_t seed) {
         return runEpisode(plan, scratch, seed);
     });
+}
+
+EvalDetail
+evaluateBatched(const nn::CompiledPlan &plan,
+                const std::vector<uint64_t> &episodeSeeds,
+                const std::vector<Environment *> &lanes,
+                EpisodeBatchScratch &scratch)
+{
+    GENESYS_ASSERT(!episodeSeeds.empty(),
+                   "evaluateBatched needs at least one episode seed");
+    GENESYS_ASSERT(!lanes.empty(),
+                   "evaluateBatched needs at least one environment lane");
+
+    const int num_inputs = static_cast<int>(plan.numInputs());
+    const int num_outputs = static_cast<int>(plan.numOutputs());
+    const long macs_per_step = plan.macsPerInference();
+    const ActionSpace space = lanes.front()->actionSpace();
+
+    EvalDetail detail;
+    detail.episodes.resize(episodeSeeds.size());
+    double total = 0.0;
+
+    std::vector<std::vector<double>> &obs = scratch.obs;
+    std::vector<uint8_t> &active = scratch.active;
+    std::vector<double> &lane_outputs = scratch.laneOutputs;
+    obs.resize(lanes.size());
+    active.resize(lanes.size());
+    lane_outputs.resize(static_cast<size_t>(num_outputs));
+
+    for (size_t wave = 0; wave < episodeSeeds.size();
+         wave += lanes.size()) {
+        const size_t wave_lanes =
+            std::min(lanes.size(), episodeSeeds.size() - wave);
+        const size_t W = wave_lanes;
+
+        for (size_t l = 0; l < W; ++l) {
+            obs[l] = lanes[l]->reset(episodeSeeds[wave + l]);
+            active[l] = 1;
+        }
+        plan.beginBatch(static_cast<int>(W), scratch.net);
+
+        // BSP lockstep superstep: one shared batched forward pass
+        // across every live lane, then each live lane steps its own
+        // environment. Finished lanes are masked until the wave
+        // drains — the per-episode termination masking that keeps
+        // the accounting identical to the serial loop.
+        size_t running = W;
+        while (running > 0) {
+            for (size_t l = 0; l < W; ++l) {
+                if (!active[l])
+                    continue;
+                // Same panic the serial path hits in activate() when
+                // an environment misreports its observation size.
+                GENESYS_ASSERT(obs[l].size() ==
+                                   static_cast<size_t>(num_inputs),
+                               "observation size "
+                                   << obs[l].size()
+                                   << " != plan inputs " << num_inputs);
+                for (int i = 0; i < num_inputs; ++i)
+                    scratch.net.inputs[static_cast<size_t>(i) * W + l] =
+                        obs[l][static_cast<size_t>(i)];
+            }
+            plan.activateBatch(static_cast<int>(W), active.data(),
+                               scratch.net);
+            for (size_t l = 0; l < W; ++l) {
+                if (!active[l])
+                    continue;
+                for (int o = 0; o < num_outputs; ++o)
+                    lane_outputs[static_cast<size_t>(o)] =
+                        scratch.net
+                            .outputs[static_cast<size_t>(o) * W + l];
+                StepResult sr =
+                    lanes[l]->step(decodeAction(space, lane_outputs));
+                obs[l] = std::move(sr.observation);
+                if (sr.done) {
+                    active[l] = 0;
+                    --running;
+                    EpisodeResult &res =
+                        detail.episodes[wave + l];
+                    res.cumulativeReward =
+                        lanes[l]->cumulativeReward();
+                    res.fitness = lanes[l]->episodeFitness();
+                    res.steps = lanes[l]->stepsTaken();
+                    res.inferences = res.steps; // one pass per step
+                    res.macs = macs_per_step * res.inferences;
+                }
+            }
+        }
+    }
+
+    // Aggregate in episode (seed) order — the exact accumulation
+    // order of the serial evaluateDetailed loop, so the mean and the
+    // totals are bit-identical, not merely equal up to reassociation.
+    for (const EpisodeResult &res : detail.episodes) {
+        total += res.fitness;
+        detail.inferences += res.inferences;
+        detail.macs += res.macs;
+        detail.maxEpisodeSteps =
+            std::max(detail.maxEpisodeSteps, res.steps);
+    }
+    detail.fitness = total / static_cast<double>(episodeSeeds.size());
+    return detail;
 }
 
 neat::NeatConfig

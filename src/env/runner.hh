@@ -15,6 +15,7 @@
 #include "env/env.hh"
 #include "nn/compiled_plan.hh"
 #include "nn/feedforward.hh"
+#include "nn/recurrent.hh"
 
 namespace genesys::env
 {
@@ -83,24 +84,34 @@ class EpisodeRunner
     }
 
     /**
-     * Run one episode with an explicit seed through the interpreter
-     * phenotype (the reference implementation).
+     * Run one episode with an explicit seed through the feed-forward
+     * interpreter phenotype (the reference implementation).
      */
     EpisodeResult runEpisode(const nn::FeedForwardNetwork &net,
                              uint64_t seed);
 
     /**
-     * Run one episode through a compiled plan — the fast path. The
-     * plan is read-only shared state; all mutable evaluation state
-     * lives in `scratch`, so concurrent runners can share one plan.
-     * Bit-identical to the interpreter overload.
+     * Run one episode through the recurrent interpreter (the
+     * reference for recurrent plans). The network state is reset at
+     * episode start, then each environment step advances one tick.
+     */
+    EpisodeResult runEpisode(nn::RecurrentNetwork &net, uint64_t seed);
+
+    /**
+     * Run one episode through a compiled plan — the fast path for
+     * both feed-forward and recurrent plans (recurrent state is reset
+     * at episode start and ticked per environment step). The plan is
+     * read-only shared state; all mutable evaluation state lives in
+     * `scratch`, so concurrent runners can share one plan.
+     * Bit-identical to the matching interpreter overload.
      */
     EpisodeResult runEpisode(const nn::CompiledPlan &plan,
                              nn::PlanScratch &scratch, uint64_t seed);
 
     /**
      * Evaluate a genome: mean fitness over the configured episode
-     * count.
+     * count, through the interpreter phenotype matching the config
+     * (feed-forward or recurrent).
      */
     double evaluate(const neat::Genome &genome,
                     const neat::NeatConfig &cfg);
@@ -109,8 +120,9 @@ class EpisodeRunner
      * Evaluate a genome over explicit per-episode seeds, keeping the
      * per-episode results and workload totals the hardware model
      * needs. Reads only the genome/config and mutates only the
-     * runner's environment. Builds the interpreter phenotype — the
-     * reference path the compiled plans are diffed against.
+     * runner's environment. Builds the interpreter phenotype for the
+     * config's mode — the reference path the compiled plans are
+     * diffed against.
      */
     EvalDetail evaluateDetailed(const neat::Genome &genome,
                                 const neat::NeatConfig &cfg,
@@ -118,7 +130,7 @@ class EpisodeRunner
 
     /**
      * Evaluate an already-compiled plan over explicit per-episode
-     * seeds — the engine's hot path: one plan, many episodes, one
+     * seeds — the serial episode loop: one plan, many episodes, one
      * scratch, zero phenotype rebuilds.
      */
     EvalDetail evaluateDetailed(const nn::CompiledPlan &plan,
@@ -137,6 +149,50 @@ class EpisodeRunner
     uint64_t baseSeed_;
     int episodes_;
 };
+
+/**
+ * Caller-owned mutable state for evaluateBatched: the network-side
+ * batch scratch plus the episode-loop lane buffers, so one warmed
+ * scratch per worker makes the batched episode path allocation-free
+ * on the runner's side (environments still allocate their returned
+ * observations). Not shareable across threads.
+ */
+struct EpisodeBatchScratch
+{
+    /** Plan activation buffers (sized by CompiledPlan::beginBatch). */
+    nn::BatchScratch net;
+    /** Latest observation per lane. */
+    std::vector<std::vector<double>> obs;
+    /** Live-episode mask per lane. */
+    std::vector<uint8_t> active;
+    /** One lane's outputs, staged for action decoding. */
+    std::vector<double> laneOutputs;
+};
+
+/**
+ * Evaluate one genome's episodes in BSP lockstep waves — the software
+ * mirror of the paper's PE-array wave execution, with the episode
+ * lanes of one genome standing in for the PEs. Episodes are grouped
+ * into waves of `lanes.size()` concurrent episodes; every wave step
+ * activates the shared plan once across all still-running lanes
+ * (CompiledPlan::activateBatch) and steps each live lane's
+ * environment, with finished episodes masked out until the wave
+ * drains. Works for feed-forward and recurrent plans (recurrent lane
+ * state is cleared per wave via beginBatch).
+ *
+ * `lanes` are distinct environment instances (one per concurrent
+ * episode — e.g. an exec::EnvPool worker shard); `scratch` is the
+ * caller's reusable batch scratch. Results are bit-identical, field
+ * for field and episode for episode, to the serial
+ * EpisodeRunner::evaluateDetailed loop over the same seeds — batching
+ * never reassociates a lane's arithmetic or reorders its environment
+ * stepping.
+ */
+EvalDetail
+evaluateBatched(const nn::CompiledPlan &plan,
+                const std::vector<uint64_t> &episodeSeeds,
+                const std::vector<Environment *> &lanes,
+                EpisodeBatchScratch &scratch);
 
 /**
  * Build a NEAT config matched to an environment: observation size in,

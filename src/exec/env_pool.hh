@@ -1,11 +1,16 @@
 /**
  * @file
  * Per-worker shard of environment instances — the "n Environment
- * Instances" of Fig 6, one per evaluation worker. Each worker owns
- * its environment outright, so the episode hot loop (reset / step /
- * activate) never takes a lock, and because every environment is
- * fully re-initialized by reset(seed), results depend only on the
+ * Instances" of Fig 6, one group per evaluation worker. Each worker
+ * owns its environments outright, so the episode hot loop (reset /
+ * step / activate) never takes a lock, and because every environment
+ * is fully re-initialized by reset(seed), results depend only on the
  * episode seed, never on which shard ran the episode.
+ *
+ * A shard holds `lanesPerWorker` instances so a worker can step a
+ * genome's episodes in BSP lockstep waves (env::evaluateBatched) —
+ * one environment per concurrent episode lane, mirroring the paper's
+ * PE-array wave execution.
  */
 
 #ifndef GENESYS_EXEC_ENV_POOL_HH
@@ -21,29 +26,50 @@
 namespace genesys::exec
 {
 
-/** A fixed set of independent environment instances, one per worker. */
+/** A fixed set of independent environment instances, sharded per worker. */
 class EnvPool
 {
   public:
     using Factory = std::function<std::unique_ptr<env::Environment>()>;
 
-    /** Build `count` instances of the named Table I environment. */
-    EnvPool(const std::string &envName, int count);
+    /**
+     * Build `workers` shards of the named Table I environment, each
+     * shard holding `lanesPerWorker` instances (1 = the serial
+     * episode loop's single environment).
+     */
+    EnvPool(const std::string &envName, int workers,
+            int lanesPerWorker = 1);
 
-    /** Build `count` instances from an arbitrary factory. */
-    EnvPool(const Factory &factory, int count);
+    /** Build the shards from an arbitrary factory. */
+    EnvPool(const Factory &factory, int workers, int lanesPerWorker = 1);
 
     EnvPool(const EnvPool &) = delete;
     EnvPool &operator=(const EnvPool &) = delete;
 
-    int size() const { return static_cast<int>(envs_.size()); }
+    /** Worker shards. */
+    int size() const { return static_cast<int>(shards_.size()); }
+    /** Episode lanes (environment instances) per worker shard. */
+    int lanesPerWorker() const { return lanes_; }
 
-    /** The environment owned by `worker`; valid for [0, size()). */
+    /**
+     * The first environment of `worker`'s shard — the serial episode
+     * loop's instance; valid for [0, size()).
+     */
     env::Environment &at(int worker);
     const env::Environment &at(int worker) const;
 
+    /**
+     * All of `worker`'s episode-lane environments, in lane order —
+     * the argument env::evaluateBatched wants. Valid for
+     * [0, size()).
+     */
+    const std::vector<env::Environment *> &shard(int worker) const;
+
   private:
     std::vector<std::unique_ptr<env::Environment>> envs_;
+    /** Borrowed per-worker views into envs_, lanes_ entries each. */
+    std::vector<std::vector<env::Environment *>> shards_;
+    int lanes_ = 1;
 };
 
 } // namespace genesys::exec

@@ -74,15 +74,33 @@ EvalEngine::perGenomeSeeds(uint64_t base)
     };
 }
 
+namespace
+{
+
+/** Episode lanes each worker shard needs for `cfg`'s episode loop. */
+int
+resolveLanes(const EvalEngineConfig &cfg)
+{
+    if (!cfg.batchEpisodes)
+        return 1;
+    const int lanes =
+        cfg.episodeLanes > 0 ? cfg.episodeLanes : cfg.episodes;
+    return std::max(1, std::min(lanes, cfg.episodes));
+}
+
+} // namespace
+
 EvalEngine::EvalEngine(EvalEngineConfig cfg)
     : cfg_(std::move(cfg)),
       pool_(ThreadPool::resolveThreads(cfg_.numThreads)),
-      envs_(cfg_.envName, pool_.size())
+      envs_(cfg_.envName, pool_.size(), resolveLanes(cfg_)),
+      batchScratch_(static_cast<size_t>(pool_.size()))
 {
     GENESYS_ASSERT(cfg_.episodes > 0,
                    "EvalEngine needs episodes > 0, got "
                        << cfg_.episodes);
     cfg_.numThreads = pool_.size();
+    cfg_.episodeLanes = envs_.lanesPerWorker();
 }
 
 std::vector<GenomeEvalResult>
@@ -104,13 +122,16 @@ EvalEngine::evaluateGeneration(const std::vector<neat::GenomeHandle> &batch,
     planCache_.beginGeneration(batchKeys);
 
     // Fan the genomes out. Each item touches only its own results
-    // slot and the worker's private environment, so the hot loop is
-    // lock-free (the plan cache takes a brief lock per genome, once,
-    // outside the episode loop); writing by index makes the output
-    // order (and hence every downstream consumer) independent of work
-    // stealing. Each genome is compiled exactly once and the
-    // resulting immutable plan is shared read-only by all of its
-    // episodes and by workload accounting.
+    // slot and the worker's private environment shard, so the hot
+    // loop is lock-free (the plan cache takes a brief lock per
+    // genome, once, outside the episode loop); writing by index makes
+    // the output order (and hence every downstream consumer)
+    // independent of work stealing. Each genome is compiled exactly
+    // once and the resulting immutable plan is shared read-only by
+    // all of its episodes and by workload accounting. A genome's
+    // episodes run in BSP lockstep waves across the worker's episode
+    // lanes (batched kernel) unless batching is disabled — both paths
+    // are bit-identical, per episode and in aggregate.
     pool_.parallelFor(
         batch.size(), [&](std::size_t i, int worker) {
             const neat::GenomeHandle &h = batch[i];
@@ -120,12 +141,19 @@ EvalEngine::evaluateGeneration(const std::vector<neat::GenomeHandle> &batch,
                 seeds[static_cast<std::size_t>(e)] =
                     seedFor(h.key, e);
 
-            env::EpisodeRunner runner(envs_.at(worker), seeds.front(),
-                                      cfg_.episodes);
             GenomeEvalResult &out = results[i];
             out.genomeKey = h.key;
             out.plan = planCache_.acquire(h.key, *h.genome, cfg);
-            out.detail = runner.evaluateDetailed(*out.plan, seeds);
+            if (cfg_.batchEpisodes) {
+                out.detail = env::evaluateBatched(
+                    *out.plan, seeds, envs_.shard(worker),
+                    batchScratch_[static_cast<std::size_t>(worker)]);
+            } else {
+                env::EpisodeRunner runner(envs_.at(worker),
+                                          seeds.front(),
+                                          cfg_.episodes);
+                out.detail = runner.evaluateDetailed(*out.plan, seeds);
+            }
         });
 
     // Map the batch onto EvE PE-array waves: genomes fill waves in

@@ -4,8 +4,12 @@
  * analogue of GeneSys' population-level parallelism, Table III). A
  * whole NEAT generation is submitted as one batch; a persistent
  * thread pool fans the genomes out across workers, each of which
- * owns a private environment instance (EnvPool shard), so the
- * episode hot loop takes no locks. Episode seeds come from a
+ * owns a private shard of environment instances (EnvPool), so the
+ * episode hot loop takes no locks. Within a worker, a genome's E
+ * episodes step in BSP lockstep waves through the batched compiled
+ * plan kernel (env::evaluateBatched) — one shared plan, one
+ * environment lane per episode — mirroring the paper's PE-array wave
+ * execution at episode granularity. Episode seeds come from a
  * SplitMix-style per-(genome, episode) mixer, which makes results a
  * pure function of (genome, seed) — bit-identical whether the batch
  * runs on 1 thread or N, and in whatever order workers claim items.
@@ -86,7 +90,7 @@ struct BatchStats
 /** Engine configuration. */
 struct EvalEngineConfig
 {
-    /** Table I environment name; each worker gets its own instance. */
+    /** Table I environment name; each worker gets its own instances. */
     std::string envName = "CartPole_v0";
     /** Worker threads (caller included). 0 = hardware concurrency. */
     int numThreads = 1;
@@ -97,6 +101,20 @@ struct EvalEngineConfig
      * 0 = the whole generation fits one wave.
      */
     int waveWidth = 0;
+    /**
+     * Step each genome's episodes in BSP lockstep waves through the
+     * batched plan kernel (env::evaluateBatched) instead of the
+     * serial one-episode-at-a-time loop. Bit-identical results either
+     * way — batching is purely a throughput lever.
+     */
+    bool batchEpisodes = true;
+    /**
+     * Concurrent episode lanes per worker when batching: each worker
+     * shard holds this many environment instances and a genome's
+     * episodes run in waves of this width. 0 = all `episodes` in one
+     * wave; values above `episodes` are clamped to it.
+     */
+    int episodeLanes = 0;
 };
 
 /**
@@ -164,6 +182,12 @@ class EvalEngine
     EnvPool envs_;
     BatchStats lastBatch_;
     nn::PlanCache planCache_;
+    /**
+     * One batched-episode scratch per worker, reused across genomes
+     * and generations — the runner side of the episode hot loop
+     * allocates nothing once the buffers have warmed up.
+     */
+    std::vector<env::EpisodeBatchScratch> batchScratch_;
 };
 
 } // namespace genesys::exec

@@ -128,17 +128,30 @@ GeneCodec::encodeGenome(const neat::Genome &g,
                         const neat::NeatConfig &cfg) const
 {
     std::vector<PackedGene> out;
+    encodeGenome(g, cfg, out);
+    return out;
+}
+
+void
+GeneCodec::encodeGenome(const neat::Genome &g, const neat::NeatConfig &cfg,
+                        std::vector<PackedGene> &out) const
+{
+    out.clear();
     out.reserve(g.numGenes());
-    // Node cluster first, ascending ids (std::map iteration order).
-    for (const auto &[nk, ng] : g.nodes()) {
-        const NodeClass cls =
-            nk < cfg.numOutputs ? NodeClass::Output : NodeClass::Hidden;
-        out.push_back(encodeNode(ng, cls));
+    // Node cluster first, ascending ids — a straight walk over the
+    // genome's parallel key/gene SoA arrays (FlatGeneMap keeps them
+    // key-sorted by invariant).
+    const auto &node_keys = g.nodes().keys();
+    const auto &node_genes = g.nodes().values();
+    for (size_t i = 0; i < node_keys.size(); ++i) {
+        const NodeClass cls = node_keys[i] < cfg.numOutputs
+                                  ? NodeClass::Output
+                                  : NodeClass::Hidden;
+        out.push_back(encodeNode(node_genes[i], cls));
     }
     // Connection cluster, ascending (src, dst).
-    for (const auto &[ck, cg] : g.connections())
+    for (const neat::ConnectionGene &cg : g.connections().values())
         out.push_back(encodeConnection(cg));
-    return out;
 }
 
 neat::Genome

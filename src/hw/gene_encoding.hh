@@ -88,6 +88,17 @@ class GeneCodec
     std::vector<PackedGene> encodeGenome(const neat::Genome &g,
                                          const neat::NeatConfig &cfg) const;
 
+    /**
+     * As above, emitting into a caller-provided buffer — the EvE
+     * stream path's zero-allocation encode. The buffer is cleared
+     * and refilled (capacity is reused), walking the genome's flat
+     * SoA gene arrays directly, so a warmed buffer makes repeated
+     * encodes allocation-free. Output is identical, word for word, to
+     * the allocating overload.
+     */
+    void encodeGenome(const neat::Genome &g, const neat::NeatConfig &cfg,
+                      std::vector<PackedGene> &out) const;
+
     /** Rebuild a genome (key `key`) from its packed stream. */
     neat::Genome decodeGenome(const std::vector<PackedGene> &stream,
                               int key) const;

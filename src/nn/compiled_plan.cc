@@ -12,13 +12,72 @@ namespace genesys::nn
 namespace
 {
 
-/** One enabled connection, flattened out of the gene array. */
-struct FlatEdge
+/**
+ * Key compression shared by both lowerings. Index space: inputs
+ * -numInputs..-1 first (ascending key), then every node gene
+ * (ascending key; all keys >= 0). The genome's flat SoA storage
+ * already holds the node keys as one sorted contiguous array, so this
+ * is two bulk copies — no per-gene tree walk — and lookups are O(1)
+ * direct-address hits or binary searches over a dense vector.
+ */
+void
+compressKeys(const Genome &genome, int num_inputs, CompileScratch &s)
 {
-    int32_t srcIdx; ///< compressed source index, -1 if out of graph
-    int32_t dstIdx; ///< compressed destination index
-    double weight;
-};
+    const auto &node_keys = genome.nodes().keys();
+    const auto &node_genes = genome.nodes().values();
+    s.keys.clear();
+    s.genes.clear();
+    s.keys.reserve(static_cast<size_t>(num_inputs) + node_keys.size());
+    s.genes.reserve(s.keys.capacity());
+    for (int i = num_inputs; i >= 1; --i) {
+        s.keys.push_back(-i);
+        s.genes.push_back(nullptr);
+    }
+    s.keys.insert(s.keys.end(), node_keys.begin(), node_keys.end());
+    for (const neat::NodeGene &ng : node_genes)
+        s.genes.push_back(&ng);
+
+    // Key -> index lookup. The edge-endpoint lookups, two per
+    // connection, were the dominant cost of compiling dense genomes,
+    // so when the key space is dense use a direct-address table
+    // (O(1) per lookup). Node ids are issued by a run-global indexer
+    // and never reused, so late-run genomes can hold a few hundred
+    // genes with ids in the hundreds of thousands — there the table
+    // would cost more to zero than the searches it saves, so fall
+    // back to binary search over the sorted key array (keyToIndex
+    // left empty signals the sparse fallback).
+    const int num_vertices = static_cast<int>(s.keys.size());
+    const int max_key = node_keys.empty() ? -1 : node_keys.back();
+    const size_t table_size =
+        static_cast<size_t>(num_inputs + std::max(max_key, -1) + 1);
+    const bool dense =
+        table_size <= 4 * static_cast<size_t>(num_vertices) + 64;
+    s.keyToIndex.clear();
+    if (dense) {
+        s.keyToIndex.assign(table_size, -1);
+        for (int v = 0; v < num_vertices; ++v)
+            s.keyToIndex[static_cast<size_t>(
+                s.keys[static_cast<size_t>(v)] + num_inputs)] = v;
+    }
+}
+
+/** Compressed index of `key`, -1 when not in the graph. */
+int32_t
+indexOf(const CompileScratch &s, int num_inputs, int key)
+{
+    if (!s.keyToIndex.empty()) {
+        const auto pos = static_cast<size_t>(key + num_inputs);
+        // Out-of-range keys are dangling references (below the
+        // input range or above every node key): not in the graph.
+        if (key < -num_inputs || pos >= s.keyToIndex.size())
+            return -1;
+        return s.keyToIndex[pos];
+    }
+    auto it = std::lower_bound(s.keys.begin(), s.keys.end(), key);
+    if (it == s.keys.end() || *it != key)
+        return -1;
+    return static_cast<int32_t>(it - s.keys.begin());
+}
 
 } // namespace
 
@@ -35,68 +94,16 @@ struct FlatEdge
  * invariant).
  */
 CompiledPlan
-CompiledPlan::compile(const Genome &genome, const NeatConfig &cfg)
+CompiledPlan::compile(const Genome &genome, const NeatConfig &cfg,
+                      CompileScratch &s)
 {
     CompiledPlan plan;
     plan.numInputs_ = cfg.numInputs;
     plan.numOutputs_ = cfg.numOutputs;
 
-    // --- key compression -------------------------------------------------
-    // Index space: inputs -numInputs..-1 first (ascending key), then
-    // every node gene (ascending key; all keys >= 0). The genome's
-    // flat SoA storage already holds the node keys as one sorted
-    // contiguous array, so this is two bulk copies — no per-gene tree
-    // walk — and lookups are binary searches over a dense vector.
     const int num_inputs = cfg.numInputs;
-    const auto &node_keys = genome.nodes().keys();
-    const auto &node_genes = genome.nodes().values();
-    std::vector<int> keys;
-    std::vector<const neat::NodeGene *> genes;
-    keys.reserve(static_cast<size_t>(num_inputs) + node_keys.size());
-    genes.reserve(keys.capacity());
-    for (int i = num_inputs; i >= 1; --i) {
-        keys.push_back(-i);
-        genes.push_back(nullptr);
-    }
-    keys.insert(keys.end(), node_keys.begin(), node_keys.end());
-    for (const neat::NodeGene &ng : node_genes)
-        genes.push_back(&ng);
-    const int num_vertices = static_cast<int>(keys.size());
-
-    // Key -> index lookup. The edge-endpoint lookups, two per
-    // connection, were the dominant cost of compiling dense genomes,
-    // so when the key space is dense use a direct-address table
-    // (O(1) per lookup). Node ids are issued by a run-global indexer
-    // and never reused, so late-run genomes can hold a few hundred
-    // genes with ids in the hundreds of thousands — there the table
-    // would cost more to zero than the searches it saves, so fall
-    // back to binary search over the sorted key array.
-    const int max_key = node_keys.empty() ? -1 : node_keys.back();
-    const size_t table_size =
-        static_cast<size_t>(num_inputs + std::max(max_key, -1) + 1);
-    const bool dense =
-        table_size <= 4 * static_cast<size_t>(num_vertices) + 64;
-    std::vector<int32_t> key_to_index;
-    if (dense) {
-        key_to_index.assign(table_size, -1);
-        for (int v = 0; v < num_vertices; ++v)
-            key_to_index[static_cast<size_t>(
-                keys[static_cast<size_t>(v)] + num_inputs)] = v;
-    }
-    const auto index_of = [&](int key) -> int32_t {
-        if (dense) {
-            const auto pos = static_cast<size_t>(key + num_inputs);
-            // Out-of-range keys are dangling references (below the
-            // input range or above every node key): not in the graph.
-            if (key < -num_inputs || pos >= key_to_index.size())
-                return -1;
-            return key_to_index[pos];
-        }
-        auto it = std::lower_bound(keys.begin(), keys.end(), key);
-        if (it == keys.end() || *it != key)
-            return -1;
-        return static_cast<int32_t>(it - keys.begin());
-    };
+    compressKeys(genome, num_inputs, s);
+    const int num_vertices = static_cast<int>(s.keys.size());
 
     // --- flatten enabled edges -------------------------------------------
     // The gene array is stored in (src, dst) order, so edges grouped
@@ -104,128 +111,136 @@ CompiledPlan::compile(const Genome &genome, const NeatConfig &cfg)
     // interpreter's per-node link order, which activate() must
     // reproduce for bit-identical accumulation. This is a single
     // contiguous walk over the connection SoA array.
-    std::vector<FlatEdge> edges;
-    edges.reserve(genome.connections().size());
+    s.edgeSrc.clear();
+    s.edgeDst.clear();
+    s.edgeWeight.clear();
+    s.edgeSrc.reserve(genome.connections().size());
+    s.edgeDst.reserve(genome.connections().size());
+    s.edgeWeight.reserve(genome.connections().size());
     for (const neat::ConnectionGene &cg : genome.connections().values()) {
         if (!cg.enabled)
             continue;
-        const int32_t dst = index_of(cg.key.second);
+        const int32_t dst = indexOf(s, num_inputs, cg.key.second);
         if (dst < 0)
             continue; // dangling destination: nothing to evaluate
-        edges.push_back({index_of(cg.key.first), dst, cg.weight});
+        s.edgeSrc.push_back(indexOf(s, num_inputs, cg.key.first));
+        s.edgeDst.push_back(dst);
+        s.edgeWeight.push_back(cg.weight);
     }
+    const size_t num_edges = s.edgeDst.size();
 
     // --- adjacency (CSR over compressed indices) --------------------------
-    std::vector<int32_t> in_deg(static_cast<size_t>(num_vertices), 0);
-    std::vector<int32_t> out_deg(static_cast<size_t>(num_vertices), 0);
-    for (const FlatEdge &e : edges) {
+    s.inDeg.assign(static_cast<size_t>(num_vertices), 0);
+    s.outDeg.assign(static_cast<size_t>(num_vertices), 0);
+    for (size_t e = 0; e < num_edges; ++e) {
         // In-degree counts every enabled in-edge — including ones
         // from unresolvable sources, which must block the node
         // forever (they never count down).
-        ++in_deg[static_cast<size_t>(e.dstIdx)];
-        if (e.srcIdx >= 0)
-            ++out_deg[static_cast<size_t>(e.srcIdx)];
+        ++s.inDeg[static_cast<size_t>(s.edgeDst[e])];
+        if (s.edgeSrc[e] >= 0)
+            ++s.outDeg[static_cast<size_t>(s.edgeSrc[e])];
     }
-    std::vector<int32_t> in_off(static_cast<size_t>(num_vertices) + 1, 0);
-    std::vector<int32_t> out_off(static_cast<size_t>(num_vertices) + 1,
-                                 0);
+    s.inOff.assign(static_cast<size_t>(num_vertices) + 1, 0);
+    s.outOff.assign(static_cast<size_t>(num_vertices) + 1, 0);
     for (int v = 0; v < num_vertices; ++v) {
-        in_off[static_cast<size_t>(v) + 1] =
-            in_off[static_cast<size_t>(v)] +
-            in_deg[static_cast<size_t>(v)];
-        out_off[static_cast<size_t>(v) + 1] =
-            out_off[static_cast<size_t>(v)] +
-            out_deg[static_cast<size_t>(v)];
+        s.inOff[static_cast<size_t>(v) + 1] =
+            s.inOff[static_cast<size_t>(v)] +
+            s.inDeg[static_cast<size_t>(v)];
+        s.outOff[static_cast<size_t>(v) + 1] =
+            s.outOff[static_cast<size_t>(v)] +
+            s.outDeg[static_cast<size_t>(v)];
     }
     // In-lists keep (source index, weight) in edge order — ascending
     // source per destination. Out-lists only need targets.
-    std::vector<int32_t> in_src(edges.size());
-    std::vector<double> in_w(edges.size());
-    std::vector<int32_t> out_dst(
-        static_cast<size_t>(out_off[static_cast<size_t>(num_vertices)]));
-    {
-        std::vector<int32_t> in_fill = in_off;
-        std::vector<int32_t> out_fill = out_off;
-        for (const FlatEdge &e : edges) {
-            const auto slot =
-                static_cast<size_t>(in_fill[static_cast<size_t>(e.dstIdx)]++);
-            in_src[slot] = e.srcIdx;
-            in_w[slot] = e.weight;
-            if (e.srcIdx >= 0)
-                out_dst[static_cast<size_t>(
-                    out_fill[static_cast<size_t>(e.srcIdx)]++)] = e.dstIdx;
-        }
+    s.inSrc.resize(num_edges);
+    s.inW.resize(num_edges);
+    s.outDst.resize(
+        static_cast<size_t>(s.outOff[static_cast<size_t>(num_vertices)]));
+    s.inFill = s.inOff;
+    s.outFill = s.outOff;
+    for (size_t e = 0; e < num_edges; ++e) {
+        const int32_t src = s.edgeSrc[e];
+        const int32_t dst = s.edgeDst[e];
+        const auto slot =
+            static_cast<size_t>(s.inFill[static_cast<size_t>(dst)]++);
+        s.inSrc[slot] = src;
+        s.inW[slot] = s.edgeWeight[e];
+        if (src >= 0)
+            s.outDst[static_cast<size_t>(
+                s.outFill[static_cast<size_t>(src)]++)] = dst;
     }
 
     // --- backward reachability from the outputs ---------------------------
     // required == analyzeGenome().required: outputs plus every
     // non-input vertex on an enabled path into them.
-    std::vector<char> required(static_cast<size_t>(num_vertices), 0);
-    std::vector<int32_t> stack;
+    s.required.assign(static_cast<size_t>(num_vertices), 0);
+    s.stack.clear();
     for (int o = 0; o < cfg.numOutputs; ++o) {
-        const int32_t idx = index_of(o);
+        const int32_t idx = indexOf(s, num_inputs, o);
         GENESYS_ASSERT(idx >= 0, "output node " << o << " missing gene");
-        required[static_cast<size_t>(idx)] = 1;
-        stack.push_back(idx);
+        s.required[static_cast<size_t>(idx)] = 1;
+        s.stack.push_back(idx);
     }
-    while (!stack.empty()) {
-        const int32_t dst = stack.back();
-        stack.pop_back();
-        for (int32_t e = in_off[static_cast<size_t>(dst)];
-             e < in_off[static_cast<size_t>(dst) + 1]; ++e) {
-            const int32_t src = in_src[static_cast<size_t>(e)];
+    while (!s.stack.empty()) {
+        const int32_t dst = s.stack.back();
+        s.stack.pop_back();
+        for (int32_t e = s.inOff[static_cast<size_t>(dst)];
+             e < s.inOff[static_cast<size_t>(dst) + 1]; ++e) {
+            const int32_t src = s.inSrc[static_cast<size_t>(e)];
             // Inputs (index < numInputs) terminate the walk.
-            if (src >= num_inputs && !required[static_cast<size_t>(src)]) {
-                required[static_cast<size_t>(src)] = 1;
-                stack.push_back(src);
+            if (src >= num_inputs && !s.required[static_cast<size_t>(src)]) {
+                s.required[static_cast<size_t>(src)] = 1;
+                s.stack.push_back(src);
             }
         }
     }
 
     // --- levelization by in-degree countdown ------------------------------
     // A required node joins the wave after its last source resolved;
-    // zero-in-edge nodes (in_deg 0) never join, matching
-    // analyzeGenome.
-    std::vector<int32_t> remaining = in_deg;
-    std::vector<int32_t> frontier;
+    // zero-in-edge nodes (inDeg 0) never join, matching analyzeGenome.
+    s.remaining = s.inDeg;
+    s.frontier.clear();
     for (int i = 0; i < num_inputs; ++i)
-        frontier.push_back(i);
-    std::vector<std::vector<int32_t>> waves;
-    while (!frontier.empty()) {
-        std::vector<int32_t> next;
-        for (int32_t src : frontier) {
-            for (int32_t e = out_off[static_cast<size_t>(src)];
-                 e < out_off[static_cast<size_t>(src) + 1]; ++e) {
-                const int32_t dst = out_dst[static_cast<size_t>(e)];
-                if (required[static_cast<size_t>(dst)] &&
-                    --remaining[static_cast<size_t>(dst)] == 0)
-                    next.push_back(dst);
+        s.frontier.push_back(i);
+    s.waveNodes.clear();
+    s.waveOffs.clear();
+    s.waveOffs.push_back(0);
+    while (!s.frontier.empty()) {
+        s.next.clear();
+        for (int32_t src : s.frontier) {
+            for (int32_t e = s.outOff[static_cast<size_t>(src)];
+                 e < s.outOff[static_cast<size_t>(src) + 1]; ++e) {
+                const int32_t dst = s.outDst[static_cast<size_t>(e)];
+                if (s.required[static_cast<size_t>(dst)] &&
+                    --s.remaining[static_cast<size_t>(dst)] == 0)
+                    s.next.push_back(dst);
             }
         }
         // Ascending index == ascending key (keys are sorted), so this
         // matches the interpreter's within-layer order.
-        std::sort(next.begin(), next.end());
-        if (!next.empty())
-            waves.push_back(next);
-        frontier = std::move(next);
+        std::sort(s.next.begin(), s.next.end());
+        if (!s.next.empty()) {
+            s.waveNodes.insert(s.waveNodes.end(), s.next.begin(),
+                               s.next.end());
+            s.waveOffs.push_back(
+                static_cast<int32_t>(s.waveNodes.size()));
+        }
+        std::swap(s.frontier, s.next);
     }
+    const size_t num_waves = s.waveOffs.size() - 1;
 
     // --- lowering: slots, SoA node tables, CSR edges, schedule ------------
     // Slot assignment matches FeedForwardNetwork::create: input key
     // -i-1 gets slot i, then layered nodes in emission order.
-    std::vector<int32_t> slot_of(static_cast<size_t>(num_vertices), -1);
+    s.slotOf.assign(static_cast<size_t>(num_vertices), -1);
     for (int i = 0; i < num_inputs; ++i)
-        slot_of[static_cast<size_t>(i)] = num_inputs - 1 - i;
+        s.slotOf[static_cast<size_t>(i)] = num_inputs - 1 - i;
     int32_t next_slot = num_inputs;
-    for (const auto &wave : waves) {
-        for (int32_t idx : wave)
-            slot_of[static_cast<size_t>(idx)] = next_slot++;
-    }
+    for (int32_t idx : s.waveNodes)
+        s.slotOf[static_cast<size_t>(idx)] = next_slot++;
     plan.numSlots_ = next_slot;
 
-    size_t n_nodes = 0;
-    for (const auto &wave : waves)
-        n_nodes += wave.size();
+    const size_t n_nodes = s.waveNodes.size();
     plan.activation_.reserve(n_nodes);
     plan.aggregation_.reserve(n_nodes);
     plan.bias_.reserve(n_nodes);
@@ -233,72 +248,237 @@ CompiledPlan::compile(const Genome &genome, const NeatConfig &cfg)
     plan.nodeSlot_.reserve(n_nodes);
     plan.edgeOffset_.reserve(n_nodes + 1);
     plan.edgeOffset_.push_back(0);
-    plan.layerSpans_.reserve(waves.size());
-    plan.schedule_.layers.reserve(waves.size());
+    plan.layerSpans_.reserve(num_waves);
+    plan.schedule_.layers.reserve(num_waves);
 
-    std::vector<int32_t> layer_sources; // scratch for vectorLen
     int32_t span_begin = 0;
-    for (const auto &wave : waves) {
+    for (size_t w = 0; w < num_waves; ++w) {
+        const int32_t w0 = s.waveOffs[w];
+        const int32_t w1 = s.waveOffs[w + 1];
         PackedLayer packed;
-        packed.numNodes = static_cast<int>(wave.size());
-        layer_sources.clear();
-        for (int32_t idx : wave) {
-            const neat::NodeGene *ng = genes[static_cast<size_t>(idx)];
-            GENESYS_ASSERT(ng != nullptr, "layered vertex "
-                                              << keys[static_cast<size_t>(
-                                                     idx)]
-                                              << " missing gene");
+        packed.numNodes = static_cast<int>(w1 - w0);
+        s.layerSources.clear();
+        for (int32_t wi = w0; wi < w1; ++wi) {
+            const int32_t idx = s.waveNodes[static_cast<size_t>(wi)];
+            const neat::NodeGene *ng = s.genes[static_cast<size_t>(idx)];
+            GENESYS_ASSERT(ng != nullptr,
+                           "layered vertex "
+                               << s.keys[static_cast<size_t>(idx)]
+                               << " missing gene");
             plan.activation_.push_back(ng->activation);
             plan.aggregation_.push_back(ng->aggregation);
             plan.bias_.push_back(ng->bias);
             plan.response_.push_back(ng->response);
-            plan.nodeSlot_.push_back(slot_of[static_cast<size_t>(idx)]);
+            plan.nodeSlot_.push_back(s.slotOf[static_cast<size_t>(idx)]);
 
-            for (int32_t e = in_off[static_cast<size_t>(idx)];
-                 e < in_off[static_cast<size_t>(idx) + 1]; ++e) {
-                const int32_t src = in_src[static_cast<size_t>(e)];
+            for (int32_t e = s.inOff[static_cast<size_t>(idx)];
+                 e < s.inOff[static_cast<size_t>(idx) + 1]; ++e) {
+                const int32_t src = s.inSrc[static_cast<size_t>(e)];
                 ++plan.macs_;
                 ++packed.weights;
-                layer_sources.push_back(src);
+                s.layerSources.push_back(src);
                 const int32_t src_slot =
-                    src >= 0 ? slot_of[static_cast<size_t>(src)] : -1;
+                    src >= 0 ? s.slotOf[static_cast<size_t>(src)] : -1;
                 if (src_slot < 0 &&
                     ng->aggregation == neat::Aggregation::Sum)
                     continue; // see edgeSrc_ docs
                 plan.edgeSrc_.push_back(src_slot);
-                plan.edgeWeight_.push_back(in_w[static_cast<size_t>(e)]);
+                plan.edgeWeight_.push_back(s.inW[static_cast<size_t>(e)]);
             }
             plan.edgeOffset_.push_back(
                 static_cast<int32_t>(plan.edgeSrc_.size()));
         }
-        const auto span_end =
-            span_begin + static_cast<int32_t>(wave.size());
+        const auto span_end = span_begin + static_cast<int32_t>(w1 - w0);
         plan.layerSpans_.push_back({span_begin, span_end});
         span_begin = span_end;
 
         // Packed input vector length: distinct sources feeding the
         // layer (levelize's vectorLen).
-        std::sort(layer_sources.begin(), layer_sources.end());
+        std::sort(s.layerSources.begin(), s.layerSources.end());
         packed.vectorLen = static_cast<int>(
-            std::unique(layer_sources.begin(), layer_sources.end()) -
-            layer_sources.begin());
+            std::unique(s.layerSources.begin(), s.layerSources.end()) -
+            s.layerSources.begin());
         plan.schedule_.layers.push_back(packed);
     }
 
     plan.outputSlot_.assign(static_cast<size_t>(cfg.numOutputs), -1);
     for (int o = 0; o < cfg.numOutputs; ++o) {
-        const int32_t idx = index_of(o);
+        const int32_t idx = indexOf(s, num_inputs, o);
         if (idx >= 0)
             plan.outputSlot_[static_cast<size_t>(o)] =
-                slot_of[static_cast<size_t>(idx)];
+                s.slotOf[static_cast<size_t>(idx)];
     }
     return plan;
+}
+
+/*
+ * compileRecurrent() lowers RecurrentNetwork::create's structure to
+ * the same flat arrays: no reachability pruning and no levelization —
+ * every node gene updates every tick (cycles are well-defined because
+ * reads come from the previous tick's double buffer), in ascending
+ * key order, each node reading its enabled in-edges in ascending
+ * source order. The MAC count and the per-node link order match the
+ * interpreter exactly; tests/test_recurrent_plan.cc fuzzes the
+ * equivalence bit for bit.
+ */
+CompiledPlan
+CompiledPlan::compileRecurrent(const Genome &genome,
+                               const NeatConfig &cfg, CompileScratch &s)
+{
+    CompiledPlan plan;
+    plan.recurrent_ = true;
+    plan.numInputs_ = cfg.numInputs;
+    plan.numOutputs_ = cfg.numOutputs;
+
+    const int num_inputs = cfg.numInputs;
+    compressKeys(genome, num_inputs, s);
+    const int num_vertices = static_cast<int>(s.keys.size());
+    const int n_nodes = num_vertices - num_inputs;
+
+    // Slots match RecurrentNetwork::create: input key -i-1 gets slot
+    // i, then every node gene in ascending key order. Vertex index v
+    // therefore maps to slot (num_inputs - 1 - v) for inputs and to
+    // its own index for nodes (both orderings are ascending-key).
+    plan.numSlots_ = num_vertices;
+    const auto slot_of_vertex = [num_inputs](int32_t v) -> int32_t {
+        return v < num_inputs ? num_inputs - 1 - v : v;
+    };
+
+    // --- per-destination in-edges (CSR, node destinations only) ----------
+    // The interpreter groups connections by destination while
+    // iterating in (src, dst) order, so per destination the sources
+    // come out ascending; edges whose destination is not a node gene
+    // have no evaluator and drop out (dangling sources stay, as -1
+    // slot sentinels — they block nothing in recurrent mode but do
+    // count as MACs, exactly like the interpreter's slotLinks).
+    s.inDeg.assign(static_cast<size_t>(num_vertices), 0);
+    size_t kept_edges = 0;
+    for (const neat::ConnectionGene &cg : genome.connections().values()) {
+        if (!cg.enabled)
+            continue;
+        const int32_t dst = indexOf(s, num_inputs, cg.key.second);
+        if (dst < num_inputs)
+            continue; // dangling or input destination: no evaluator
+        ++s.inDeg[static_cast<size_t>(dst)];
+        ++kept_edges;
+    }
+    s.inOff.assign(static_cast<size_t>(num_vertices) + 1, 0);
+    for (int v = 0; v < num_vertices; ++v)
+        s.inOff[static_cast<size_t>(v) + 1] =
+            s.inOff[static_cast<size_t>(v)] +
+            s.inDeg[static_cast<size_t>(v)];
+    s.inSrc.resize(kept_edges);
+    s.inW.resize(kept_edges);
+    s.inFill = s.inOff;
+    for (const neat::ConnectionGene &cg : genome.connections().values()) {
+        if (!cg.enabled)
+            continue;
+        const int32_t dst = indexOf(s, num_inputs, cg.key.second);
+        if (dst < num_inputs)
+            continue;
+        const auto slot =
+            static_cast<size_t>(s.inFill[static_cast<size_t>(dst)]++);
+        s.inSrc[slot] = indexOf(s, num_inputs, cg.key.first);
+        s.inW[slot] = cg.weight;
+    }
+
+    // --- lowering: every node, ascending key, one wave per tick ----------
+    plan.activation_.reserve(static_cast<size_t>(n_nodes));
+    plan.aggregation_.reserve(static_cast<size_t>(n_nodes));
+    plan.bias_.reserve(static_cast<size_t>(n_nodes));
+    plan.response_.reserve(static_cast<size_t>(n_nodes));
+    plan.nodeSlot_.reserve(static_cast<size_t>(n_nodes));
+    plan.edgeOffset_.reserve(static_cast<size_t>(n_nodes) + 1);
+    plan.edgeOffset_.push_back(0);
+    s.layerSources.clear();
+    for (int32_t idx = num_inputs; idx < num_vertices; ++idx) {
+        const neat::NodeGene *ng = s.genes[static_cast<size_t>(idx)];
+        plan.activation_.push_back(ng->activation);
+        plan.aggregation_.push_back(ng->aggregation);
+        plan.bias_.push_back(ng->bias);
+        plan.response_.push_back(ng->response);
+        plan.nodeSlot_.push_back(slot_of_vertex(idx));
+
+        for (int32_t e = s.inOff[static_cast<size_t>(idx)];
+             e < s.inOff[static_cast<size_t>(idx) + 1]; ++e) {
+            const int32_t src = s.inSrc[static_cast<size_t>(e)];
+            ++plan.macs_;
+            s.layerSources.push_back(src);
+            const int32_t src_slot = src >= 0 ? slot_of_vertex(src) : -1;
+            if (src_slot < 0 && ng->aggregation == neat::Aggregation::Sum)
+                continue; // see edgeSrc_ docs
+            plan.edgeSrc_.push_back(src_slot);
+            plan.edgeWeight_.push_back(s.inW[static_cast<size_t>(e)]);
+        }
+        plan.edgeOffset_.push_back(
+            static_cast<int32_t>(plan.edgeSrc_.size()));
+    }
+    if (n_nodes > 0)
+        plan.layerSpans_.push_back({0, n_nodes});
+
+    // One packed layer per tick: the whole graph is simultaneously
+    // ready (every node reads the previous tick), so ADAM sees a
+    // single M x K step per inference with M = all nodes and K = the
+    // distinct sources feeding them. totalMacs == macsPerInference by
+    // construction — the invariant the hw cost model relies on.
+    if (n_nodes > 0) {
+        PackedLayer packed;
+        packed.numNodes = n_nodes;
+        packed.weights = plan.macs_;
+        std::sort(s.layerSources.begin(), s.layerSources.end());
+        packed.vectorLen = static_cast<int>(
+            std::unique(s.layerSources.begin(), s.layerSources.end()) -
+            s.layerSources.begin());
+        plan.schedule_.layers.push_back(packed);
+    }
+
+    plan.outputSlot_.assign(static_cast<size_t>(cfg.numOutputs), -1);
+    for (int o = 0; o < cfg.numOutputs; ++o) {
+        const int32_t idx = indexOf(s, num_inputs, o);
+        if (idx >= 0)
+            plan.outputSlot_[static_cast<size_t>(o)] =
+                slot_of_vertex(idx);
+    }
+    return plan;
+}
+
+CompiledPlan
+CompiledPlan::compile(const Genome &genome, const NeatConfig &cfg)
+{
+    CompileScratch scratch;
+    return compile(genome, cfg, scratch);
+}
+
+CompiledPlan
+CompiledPlan::compileRecurrent(const Genome &genome, const NeatConfig &cfg)
+{
+    CompileScratch scratch;
+    return compileRecurrent(genome, cfg, scratch);
+}
+
+CompiledPlan
+CompiledPlan::compileFor(const Genome &genome, const NeatConfig &cfg,
+                         CompileScratch &scratch)
+{
+    return cfg.feedForward ? compile(genome, cfg, scratch)
+                           : compileRecurrent(genome, cfg, scratch);
+}
+
+CompiledPlan
+CompiledPlan::compileFor(const Genome &genome, const NeatConfig &cfg)
+{
+    CompileScratch scratch;
+    return compileFor(genome, cfg, scratch);
 }
 
 void
 CompiledPlan::activate(const std::vector<double> &inputs,
                        PlanScratch &scratch) const
 {
+    if (recurrent_) {
+        activateRecurrent(inputs, scratch);
+        return;
+    }
     GENESYS_ASSERT(inputs.size() == static_cast<size_t>(numInputs_),
                    "expected " << numInputs_ << " inputs, got "
                                << inputs.size());
@@ -353,12 +533,261 @@ CompiledPlan::activate(const std::vector<double> &inputs,
     }
 }
 
+void
+CompiledPlan::activateRecurrent(const std::vector<double> &inputs,
+                                PlanScratch &scratch) const
+{
+    GENESYS_ASSERT(recurrent_,
+                   "activateRecurrent on a feed-forward plan");
+    GENESYS_ASSERT(inputs.size() == static_cast<size_t>(numInputs_),
+                   "expected " << numInputs_ << " inputs, got "
+                               << inputs.size());
+    GENESYS_ASSERT(scratch.prev.size() == static_cast<size_t>(numSlots_),
+                   "recurrent scratch not reset for this plan — call "
+                   "reset() before the first tick");
+    scratch.outputs.resize(static_cast<size_t>(numOutputs_));
+
+    double *const prev = scratch.prev.data();
+    double *const curr = scratch.curr.data();
+    // Inputs are visible in the *previous* frame so this tick's node
+    // updates read them (standard NEAT recurrent evaluation); the
+    // current frame keeps them too so they survive the swap.
+    for (int i = 0; i < numInputs_; ++i) {
+        prev[i] = inputs[static_cast<size_t>(i)];
+        curr[i] = inputs[static_cast<size_t>(i)];
+    }
+
+    const double *const w = edgeWeight_.data();
+    const int32_t *const src = edgeSrc_.data();
+    const int32_t *const offs = edgeOffset_.data();
+    const int32_t *const slot_of = nodeSlot_.data();
+    const neat::Activation *const act = activation_.data();
+    const neat::Aggregation *const agg = aggregation_.data();
+    const double *const bias = bias_.data();
+    const double *const response = response_.data();
+
+    const int n_nodes = static_cast<int>(nodeSlot_.size());
+    for (int n = 0; n < n_nodes; ++n) {
+        const int32_t e0 = offs[n];
+        const int32_t e1 = offs[n + 1];
+        double pre;
+        if (agg[n] == neat::Aggregation::Sum) {
+            double acc = 0.0;
+            for (int32_t e = e0; e < e1; ++e)
+                acc += prev[src[e]] * w[e];
+            pre = acc;
+        } else {
+            scratch.weighted.clear();
+            for (int32_t e = e0; e < e1; ++e) {
+                scratch.weighted.push_back(
+                    (src[e] >= 0 ? prev[src[e]] : 0.0) * w[e]);
+            }
+            pre = neat::aggregate(agg[n], scratch.weighted);
+        }
+        curr[slot_of[n]] =
+            neat::activate(act[n], bias[n] + response[n] * pre);
+    }
+    std::swap(scratch.prev, scratch.curr);
+
+    // After the swap, prev holds this tick's values.
+    const double *const settled = scratch.prev.data();
+    double *const outputs = scratch.outputs.data();
+    for (int o = 0; o < numOutputs_; ++o) {
+        const int32_t slot = outputSlot_[static_cast<size_t>(o)];
+        outputs[o] = slot >= 0 ? settled[slot] : 0.0;
+    }
+}
+
+void
+CompiledPlan::reset(PlanScratch &scratch) const
+{
+    if (!recurrent_)
+        return;
+    scratch.prev.assign(static_cast<size_t>(numSlots_), 0.0);
+    scratch.curr.assign(static_cast<size_t>(numSlots_), 0.0);
+}
+
 std::vector<double>
 CompiledPlan::activate(const std::vector<double> &inputs) const
 {
     PlanScratch scratch;
+    reset(scratch);
     activate(inputs, scratch);
     return std::move(scratch.outputs);
+}
+
+void
+CompiledPlan::beginBatch(int lanes, BatchScratch &scratch) const
+{
+    GENESYS_ASSERT(lanes > 0, "beginBatch needs lanes > 0, got "
+                                  << lanes);
+    const size_t L = static_cast<size_t>(lanes);
+    scratch.inputs.resize(static_cast<size_t>(numInputs_) * L);
+    scratch.outputs.resize(static_cast<size_t>(numOutputs_) * L);
+    scratch.acc.resize(L);
+    if (recurrent_) {
+        scratch.prev.assign(static_cast<size_t>(numSlots_) * L, 0.0);
+        scratch.curr.assign(static_cast<size_t>(numSlots_) * L, 0.0);
+    } else {
+        scratch.values.resize(static_cast<size_t>(numSlots_) * L);
+    }
+}
+
+/*
+ * The batched kernel: identical per-lane operation order to the
+ * serial paths (per node, edges accumulate in the same sequence), so
+ * each lane is bit-identical to a serial activate() fed the same
+ * inputs — lane interleaving never reassociates a lane's arithmetic.
+ * The Sum accumulation runs branch-free across all lanes (stale
+ * inactive-lane values are accumulated and discarded); the expensive
+ * per-node activation (libm) is masked to active lanes.
+ */
+void
+CompiledPlan::activateBatch(int lanes, const uint8_t *activeLanes,
+                            BatchScratch &scratch) const
+{
+    // Dispatch to a fixed-width instantiation when the lane count is
+    // a common small width: with the trip count known at compile time
+    // the per-edge lane loop unrolls into straight vector code. The
+    // engine's defaults (episodes per evaluation) land in this range.
+    switch (lanes) {
+      case 1:
+        return activateBatchImpl<1>(lanes, activeLanes, scratch);
+      case 2:
+        return activateBatchImpl<2>(lanes, activeLanes, scratch);
+      case 3:
+        return activateBatchImpl<3>(lanes, activeLanes, scratch);
+      case 4:
+        return activateBatchImpl<4>(lanes, activeLanes, scratch);
+      case 5:
+        return activateBatchImpl<5>(lanes, activeLanes, scratch);
+      case 6:
+        return activateBatchImpl<6>(lanes, activeLanes, scratch);
+      case 7:
+        return activateBatchImpl<7>(lanes, activeLanes, scratch);
+      case 8:
+        return activateBatchImpl<8>(lanes, activeLanes, scratch);
+      default:
+        return activateBatchImpl<0>(lanes, activeLanes, scratch);
+    }
+}
+
+template <int kLanes>
+void
+CompiledPlan::activateBatchImpl(int lanes, const uint8_t *activeLanes,
+                                BatchScratch &scratch) const
+{
+    const size_t L =
+        kLanes > 0 ? static_cast<size_t>(kLanes)
+                   : static_cast<size_t>(lanes);
+    GENESYS_ASSERT(lanes > 0 &&
+                       scratch.inputs.size() ==
+                           static_cast<size_t>(numInputs_) * L &&
+                       scratch.outputs.size() ==
+                           static_cast<size_t>(numOutputs_) * L,
+                   "batch scratch not sized for " << lanes
+                                                  << " lanes — call "
+                                                     "beginBatch first");
+    // The slot count is the one dimension that varies per genome
+    // (inputs/outputs are environment-fixed), so the value arrays are
+    // exactly the buffers a plan-switch without beginBatch would
+    // overrun — check them explicitly.
+    if (recurrent_) {
+        GENESYS_ASSERT(scratch.prev.size() ==
+                           static_cast<size_t>(numSlots_) * L,
+                       "recurrent batch scratch not sized — call "
+                       "beginBatch first");
+    } else {
+        GENESYS_ASSERT(scratch.values.size() ==
+                           static_cast<size_t>(numSlots_) * L,
+                       "batch scratch not sized for this plan — call "
+                       "beginBatch first");
+    }
+
+    // Read/write frames: feed-forward lanes read and write one values
+    // array; recurrent lanes read the previous tick and write the
+    // current one, then swap.
+    double *const rd =
+        recurrent_ ? scratch.prev.data() : scratch.values.data();
+    double *const wr =
+        recurrent_ ? scratch.curr.data() : scratch.values.data();
+
+    // Latch inputs: input i occupies slot i in both modes. Inactive
+    // lanes latch stale inputs into stale slots — never consumed.
+    const size_t in_count = static_cast<size_t>(numInputs_) * L;
+    std::copy(scratch.inputs.begin(), scratch.inputs.begin() + in_count,
+              rd);
+    if (recurrent_)
+        std::copy(scratch.inputs.begin(),
+                  scratch.inputs.begin() + in_count, wr);
+
+    const double *const w = edgeWeight_.data();
+    const int32_t *const src = edgeSrc_.data();
+    const int32_t *const offs = edgeOffset_.data();
+    const int32_t *const slot_of = nodeSlot_.data();
+    const neat::Activation *const act = activation_.data();
+    const neat::Aggregation *const agg = aggregation_.data();
+    const double *const bias = bias_.data();
+    const double *const response = response_.data();
+    double *const acc = scratch.acc.data();
+
+    const int n_nodes = static_cast<int>(nodeSlot_.size());
+    for (int n = 0; n < n_nodes; ++n) {
+        const int32_t e0 = offs[n];
+        const int32_t e1 = offs[n + 1];
+        if (agg[n] == neat::Aggregation::Sum) {
+            // __restrict: the accumulator vector is distinct from
+            // every value array by construction, which unlocks
+            // vectorization of the lane loop — the whole point of the
+            // lane-minor layout. Summation order per lane is still
+            // exactly the serial edge order.
+            double *const __restrict accr = acc;
+            std::fill(accr, accr + L, 0.0);
+            for (int32_t e = e0; e < e1; ++e) {
+                const double we = w[e];
+                const double *const __restrict sv =
+                    rd + static_cast<size_t>(src[e]) * L;
+                for (size_t l = 0; l < L; ++l)
+                    accr[l] += sv[l] * we;
+            }
+        } else {
+            for (size_t l = 0; l < L; ++l) {
+                if (!activeLanes[l])
+                    continue;
+                scratch.weighted.clear();
+                for (int32_t e = e0; e < e1; ++e) {
+                    scratch.weighted.push_back(
+                        (src[e] >= 0
+                             ? rd[static_cast<size_t>(src[e]) * L + l]
+                             : 0.0) *
+                        w[e]);
+                }
+                acc[l] = neat::aggregate(agg[n], scratch.weighted);
+            }
+        }
+        const neat::Activation a = act[n];
+        const double b = bias[n];
+        const double r = response[n];
+        double *const dst = wr + static_cast<size_t>(slot_of[n]) * L;
+        for (size_t l = 0; l < L; ++l) {
+            if (activeLanes[l])
+                dst[l] = neat::activate(a, b + r * acc[l]);
+        }
+    }
+
+    if (recurrent_)
+        std::swap(scratch.prev, scratch.curr);
+    const double *const settled =
+        recurrent_ ? scratch.prev.data() : scratch.values.data();
+    double *const outputs = scratch.outputs.data();
+    for (int o = 0; o < numOutputs_; ++o) {
+        const int32_t slot = outputSlot_[static_cast<size_t>(o)];
+        for (size_t l = 0; l < L; ++l) {
+            outputs[static_cast<size_t>(o) * L + l] =
+                slot >= 0 ? settled[static_cast<size_t>(slot) * L + l]
+                          : 0.0;
+        }
+    }
 }
 
 } // namespace genesys::nn

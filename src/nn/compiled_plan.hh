@@ -14,20 +14,38 @@
  *
  * A plan is immutable after compile(), so it is safe to share
  * read-only across exec::EvalEngine workers; all mutable state lives
- * in the caller's PlanScratch. Outputs are bit-identical to the
- * FeedForwardNetwork interpreter (the reference implementation): the
- * plan preserves the interpreter's node order, per-node link order
- * and accumulation order exactly, which the differential fuzz harness
- * in tests/test_compiled_plan.cc locks down.
+ * in the caller's PlanScratch / BatchScratch. Outputs are
+ * bit-identical to the interpreter reference implementations
+ * (FeedForwardNetwork / RecurrentNetwork): the plan preserves the
+ * interpreter's node order, per-node link order and accumulation
+ * order exactly, which the differential fuzz harnesses in
+ * tests/test_compiled_plan.cc and tests/test_recurrent_plan.cc lock
+ * down.
  *
- * Recurrent genomes: plans implement feed-forward semantics. A genome
- * containing cycles compiles to the same phenotype the feed-forward
- * interpreter builds — cycle members never become "ready", so they
- * (and everything downstream) stay unevaluated and read as 0.
- * Stateful recurrent evaluation (NeatConfig::feedForward == false
- * runs that carry node state across ticks) stays on the
- * nn::RecurrentNetwork interpreter; that path is the documented
- * fallback and is not routed through plans.
+ * Plans come in two modes, so every genome — acyclic or cyclic — runs
+ * through the same execution substrate:
+ *
+ *  * Feed-forward (compile()): levelized layers, each activate() is
+ *    one stateless forward pass. A genome containing cycles compiles
+ *    to the same phenotype the feed-forward interpreter builds —
+ *    cycle members never become "ready", so they (and everything
+ *    downstream) stay unevaluated and read as 0.
+ *
+ *  * Recurrent (compileRecurrent(), NeatConfig::feedForward ==
+ *    false): every node gene updates every tick from the *previous*
+ *    tick's values, held in double-buffered prev/curr slot arrays in
+ *    the scratch. activateRecurrent() advances one tick; reset()
+ *    clears the state at episode boundaries. Bit-identical to the
+ *    nn::RecurrentNetwork interpreter, which is kept as the
+ *    differential reference.
+ *
+ * Both modes also expose a batched entry point (activateBatch):
+ * one shared plan evaluated across N independent episode lanes, the
+ * per-edge accumulation loop running contiguously across the lane
+ * dimension — the software mirror of the EvE PE-array stepping a wave
+ * of episodes in BSP lockstep. Each lane's floating-point operation
+ * order is exactly the serial order, so batched results stay
+ * bit-identical to the serial path lane for lane.
  */
 
 #ifndef GENESYS_NN_COMPILED_PLAN_HH
@@ -47,6 +65,8 @@ namespace genesys::nn
  * scratch across calls makes the hot loop allocation-free after the
  * first activation; a scratch may be moved between plans (buffers
  * are resized on entry) but must not be shared across threads.
+ * Recurrent plans keep their cross-tick node state here (prev/curr),
+ * so the plan itself stays immutable and shareable.
  */
 struct PlanScratch
 {
@@ -56,6 +76,67 @@ struct PlanScratch
     std::vector<double> weighted;
     /** Output activations of the most recent activate() call. */
     std::vector<double> outputs;
+    /** Recurrent double buffer: previous tick's slot values. */
+    std::vector<double> prev;
+    /** Recurrent double buffer: slot values being written this tick. */
+    std::vector<double> curr;
+};
+
+/**
+ * Caller-owned mutable state for CompiledPlan::activateBatch: one
+ * shared plan, L independent episode lanes. Every array is laid out
+ * lane-minor — element [i][lane] lives at i * lanes + lane — so the
+ * per-edge accumulation loop walks contiguous memory across lanes.
+ * Size the buffers with beginBatch(); like PlanScratch, one
+ * BatchScratch must not be shared across threads.
+ */
+struct BatchScratch
+{
+    /** Network inputs, [input i][lane]: caller fills before each call. */
+    std::vector<double> inputs;
+    /** Feed-forward value slots, [slot][lane]. */
+    std::vector<double> values;
+    /** Recurrent prev-tick slots, [slot][lane]. */
+    std::vector<double> prev;
+    /** Recurrent curr-tick slots, [slot][lane]. */
+    std::vector<double> curr;
+    /** Output activations, [output o][lane]. */
+    std::vector<double> outputs;
+    /** Weighted-input staging for non-Sum aggregations (one lane). */
+    std::vector<double> weighted;
+    /** Per-lane pre-activation accumulator. */
+    std::vector<double> acc;
+};
+
+/**
+ * Reusable buffers for CompiledPlan::compile/compileRecurrent.
+ * Compilation is allocation-bound (~15 small vectors per compile);
+ * keeping one scratch per thread and passing it to every compile
+ * makes steady-state compilation allocation-free. The fields are an
+ * implementation detail of the compiler — callers only default
+ * construct and reuse. Not shareable across threads.
+ */
+struct CompileScratch
+{
+    std::vector<int> keys;
+    std::vector<const neat::NodeGene *> genes;
+    std::vector<int32_t> keyToIndex;
+    // Flattened enabled edges (parallel arrays).
+    std::vector<int32_t> edgeSrc;
+    std::vector<int32_t> edgeDst;
+    std::vector<double> edgeWeight;
+    // CSR adjacency.
+    std::vector<int32_t> inDeg, outDeg;
+    std::vector<int32_t> inOff, outOff, inFill, outFill;
+    std::vector<int32_t> inSrc, outDst;
+    std::vector<double> inW;
+    // Reachability + levelization.
+    std::vector<char> required;
+    std::vector<int32_t> stack, frontier, next;
+    /** Flattened waves: wave w spans waveNodes[waveOffs[w] .. waveOffs[w+1]). */
+    std::vector<int32_t> waveNodes, waveOffs;
+    std::vector<int32_t> slotOf, remaining;
+    std::vector<int32_t> layerSources;
 };
 
 /** A genome lowered to flat arrays, executable without the genome. */
@@ -69,21 +150,91 @@ class CompiledPlan
         int32_t end = 0;
     };
 
-    /** Lower `genome` into a flat execution plan. */
+    /** Lower `genome` into a flat feed-forward execution plan. */
     static CompiledPlan compile(const Genome &genome,
                                 const NeatConfig &cfg);
+    /** As compile(), reusing the caller's per-thread scratch. */
+    static CompiledPlan compile(const Genome &genome,
+                                const NeatConfig &cfg,
+                                CompileScratch &scratch);
 
     /**
-     * Evaluate the plan: runs every levelized layer as a dense inner
-     * loop over the CSR edge arrays. Leaves the outputs in
+     * Lower `genome` (cycles allowed) into a flat recurrent plan:
+     * every node gene updates each tick from the previous tick's
+     * values, matching nn::RecurrentNetwork bit for bit.
+     */
+    static CompiledPlan compileRecurrent(const Genome &genome,
+                                         const NeatConfig &cfg);
+    /** As compileRecurrent(), reusing the caller's scratch. */
+    static CompiledPlan compileRecurrent(const Genome &genome,
+                                         const NeatConfig &cfg,
+                                         CompileScratch &scratch);
+
+    /**
+     * The mode-dispatching entry point: feed-forward lowering for
+     * NeatConfig::feedForward configs, recurrent lowering otherwise —
+     * so every consumer (PlanCache, replay, the engine) runs all
+     * genomes through one compiled substrate.
+     */
+    static CompiledPlan compileFor(const Genome &genome,
+                                   const NeatConfig &cfg);
+    /** As compileFor(), reusing the caller's scratch. */
+    static CompiledPlan compileFor(const Genome &genome,
+                                   const NeatConfig &cfg,
+                                   CompileScratch &scratch);
+
+    /** Was this plan lowered with recurrent (stateful) semantics? */
+    bool isRecurrent() const { return recurrent_; }
+
+    /**
+     * Evaluate the plan. Feed-forward plans run every levelized layer
+     * as a dense inner loop over the CSR edge arrays; recurrent plans
+     * advance one tick (see activateRecurrent). Leaves the outputs in
      * `scratch.outputs`. Allocation-free once `scratch` has warmed
      * up. Thread-safe for concurrent callers with distinct scratches.
      */
     void activate(const std::vector<double> &inputs,
                   PlanScratch &scratch) const;
 
-    /** Convenience form: allocates a scratch and returns the outputs. */
+    /**
+     * Advance a recurrent plan one tick: latch `inputs`, update every
+     * node from the previous tick's values (scratch.prev), leave this
+     * tick's outputs in `scratch.outputs`. Call reset() at episode
+     * start. Only valid on recurrent plans.
+     */
+    void activateRecurrent(const std::vector<double> &inputs,
+                           PlanScratch &scratch) const;
+
+    /**
+     * Clear the recurrent state in `scratch` (start of an episode) —
+     * the plan-side mirror of RecurrentNetwork::reset. No-op for
+     * feed-forward plans, so episode loops may call it untyped.
+     */
+    void reset(PlanScratch &scratch) const;
+
+    /** Convenience form: allocates a scratch and returns the outputs
+     *  (for recurrent plans: one tick from a freshly reset state). */
     std::vector<double> activate(const std::vector<double> &inputs) const;
+
+    /**
+     * Size `scratch` for `lanes` concurrent episode lanes and clear
+     * any recurrent state. Call once per episode wave, before the
+     * first activateBatch().
+     */
+    void beginBatch(int lanes, BatchScratch &scratch) const;
+
+    /**
+     * Evaluate all `lanes` episode lanes in lockstep: reads
+     * scratch.inputs ([input][lane]), leaves scratch.outputs
+     * ([output][lane]). `activeLanes[lane]` masks finished episodes —
+     * inactive lanes are carried through the accumulation loops
+     * branch-free but skip the per-node activation write, so their
+     * slots go stale and are never consumed. Each active lane's
+     * result is bit-identical to a serial activate() fed the same
+     * inputs. Recurrent plans advance every active lane one tick.
+     */
+    void activateBatch(int lanes, const uint8_t *activeLanes,
+                       BatchScratch &scratch) const;
 
     size_t numInputs() const { return static_cast<size_t>(numInputs_); }
     size_t numOutputs() const
@@ -92,7 +243,7 @@ class CompiledPlan
     }
     /** Value slots (inputs + evaluated nodes). */
     int numSlots() const { return numSlots_; }
-    /** Evaluated (layered) nodes. */
+    /** Evaluated nodes (layered for feed-forward, all for recurrent). */
     int numNodes() const
     {
         return static_cast<int>(nodeSlot_.size());
@@ -100,32 +251,47 @@ class CompiledPlan
 
     /**
      * Multiply-accumulates per activate() call — counts every enabled
-     * inbound edge of a layered node, matching
-     * FeedForwardNetwork::macsPerInference and the schedule's
-     * totalMacs.
+     * inbound edge of an evaluated node, matching
+     * FeedForwardNetwork::macsPerInference (feed-forward) and
+     * RecurrentNetwork::macsPerInference (recurrent, per tick), and
+     * the schedule's totalMacs.
      */
     long macsPerInference() const { return macs_; }
 
     /**
-     * The ADAM inference schedule derived from the *same* levelized
-     * layers this plan executes, so software execution and the
-     * EvE/ADAM cost model agree by construction.
+     * The ADAM inference schedule derived from the *same* structure
+     * this plan executes, so software execution and the EvE/ADAM cost
+     * model agree by construction. Feed-forward plans schedule their
+     * levelized layers; recurrent plans schedule one packed layer per
+     * tick (every node updates each tick, so the whole graph is one
+     * ready wave).
      */
     const InferenceSchedule &schedule() const { return schedule_; }
 
-    /** Node-index spans of the levelized layers, in execution order. */
+    /** Node-index spans of the execution layers, in order. */
     const std::vector<LayerSpan> &layerSpans() const
     {
         return layerSpans_;
     }
 
   private:
+    /**
+     * The batched kernel body, specialized on a compile-time lane
+     * count (kLanes > 0) so the per-edge lane loop fully unrolls and
+     * vectorizes without per-edge trip-count setup; kLanes == 0 is
+     * the any-width fallback reading the runtime `lanes`.
+     */
+    template <int kLanes>
+    void activateBatchImpl(int lanes, const uint8_t *activeLanes,
+                           BatchScratch &scratch) const;
+
     int numInputs_ = 0;
     int numOutputs_ = 0;
     int numSlots_ = 0;
     long macs_ = 0;
+    bool recurrent_ = false;
 
-    // Per-node tables, structure-of-arrays in layer execution order.
+    // Per-node tables, structure-of-arrays in execution order.
     std::vector<neat::Activation> activation_;
     std::vector<neat::Aggregation> aggregation_;
     std::vector<double> bias_;
@@ -138,11 +304,11 @@ class CompiledPlan
     std::vector<int32_t> edgeOffset_; // numNodes + 1 entries
     /**
      * Source value slot per edge. Sum-aggregated nodes carry only
-     * resolvable sources (the interpreter's fast path skips the rest,
+     * resolvable sources (the interpreters' fast paths skip the rest,
      * so dropping them at compile time is bit-identical and keeps the
      * inner loop branch-free in practice); other aggregations keep a
      * -1 sentinel per out-of-graph source, which contributes an
-     * explicit 0-valued operand exactly like the interpreter.
+     * explicit 0-valued operand exactly like the interpreters.
      */
     std::vector<int32_t> edgeSrc_;
     std::vector<double> edgeWeight_;

@@ -85,8 +85,13 @@ PlanCache::acquire(int genomeKey, const neat::Genome &genome,
             return it->second.plan;
         }
     }
+    // One compile scratch per thread: steady-state compilation is
+    // allocation-free, and workers never contend on compile buffers.
+    // compileFor dispatches on cfg.feedForward, so recurrent genomes
+    // lower to recurrent plans under the same cache/carry-over rules.
+    thread_local CompileScratch compile_scratch;
     auto plan = std::make_shared<const CompiledPlan>(
-        CompiledPlan::compile(genome, cfg));
+        CompiledPlan::compileFor(genome, cfg, compile_scratch));
     std::lock_guard<std::mutex> lock(mutex_);
     auto [it, inserted] =
         plans_.emplace(genomeKey, Entry{std::move(plan), fp});

@@ -51,10 +51,13 @@ class PlanCache
     void beginGeneration(const std::vector<int> &survivingKeys);
 
     /**
-     * The plan for `genome`, compiling it on first request.
-     * Compilation runs outside the lock so distinct genomes compile
-     * concurrently; if two threads race on the same key the first
-     * insert wins and both receive the same shared plan.
+     * The plan for `genome`, compiling it on first request — via
+     * CompiledPlan::compileFor, so feed-forward configs get levelized
+     * plans and recurrent configs (NeatConfig::feedForward == false)
+     * get recurrent plans under the same caching and elite carry-over
+     * rules. Compilation runs outside the lock so distinct genomes
+     * compile concurrently; if two threads race on the same key the
+     * first insert wins and both receive the same shared plan.
      */
     std::shared_ptr<const CompiledPlan>
     acquire(int genomeKey, const neat::Genome &genome,

@@ -7,8 +7,13 @@
  * are well-defined and the network carries state across steps.
  *
  * The paper's experiments use feed-forward genomes; recurrent support
- * is the natural extension for partially-observable environments and
- * is exercised by the test suite.
+ * is the natural extension for partially-observable environments.
+ *
+ * This interpreter is the *reference implementation*: production
+ * evaluation lowers recurrent genomes to flat plans
+ * (nn::CompiledPlan::compileRecurrent) that must match it bit for
+ * bit, which tests/test_recurrent_plan.cc fuzzes — the same role
+ * FeedForwardNetwork plays for feed-forward plans.
  */
 
 #ifndef GENESYS_NN_RECURRENT_HH

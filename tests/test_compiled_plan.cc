@@ -376,6 +376,99 @@ TEST(CompiledPlan, ScratchIsReusableAcrossPlans)
     EXPECT_EQ(shared.outputs, fresh_big);
 }
 
+TEST(CompiledPlan, CompileScratchReuseIsBitIdentical)
+{
+    // One CompileScratch driven through many differently-shaped
+    // genomes must produce plans identical to fresh-scratch compiles:
+    // stale buffer contents never leak into a later plan. This is the
+    // per-thread reuse pattern the plan cache runs in production.
+    constexpr int kGenomes = 200;
+    CompileScratch shared;
+    for (int i = 0; i < kGenomes; ++i) {
+        XorWow rng(deriveSeed(kFuzzBase ^ 0xC0DE, static_cast<uint64_t>(i)));
+        const bool allow_cycles = i % 4 == 3;
+        const NeatConfig cfg = fuzzConfig(rng, allow_cycles);
+        const Genome g = fuzzGenome(cfg, rng, allow_cycles);
+        SCOPED_TRACE("scratch genome " + std::to_string(i));
+
+        const auto fresh = CompiledPlan::compile(g, cfg);
+        const auto reused = CompiledPlan::compile(g, cfg, shared);
+
+        ASSERT_EQ(reused.numSlots(), fresh.numSlots());
+        ASSERT_EQ(reused.numNodes(), fresh.numNodes());
+        EXPECT_EQ(reused.macsPerInference(), fresh.macsPerInference());
+        ASSERT_EQ(reused.layerSpans().size(), fresh.layerSpans().size());
+
+        PlanScratch sa, sb;
+        for (int t = 0; t < 3; ++t) {
+            std::vector<double> in(static_cast<size_t>(cfg.numInputs));
+            for (auto &x : in)
+                x = rng.uniform(-5.0, 5.0);
+            fresh.activate(in, sa);
+            reused.activate(in, sb);
+            ASSERT_EQ(sb.outputs.size(), sa.outputs.size());
+            for (size_t o = 0; o < sa.outputs.size(); ++o)
+                EXPECT_TRUE(bitEqual(sb.outputs[o], sa.outputs[o]))
+                    << "output " << o << " trial " << t;
+        }
+    }
+}
+
+TEST(CompiledPlanBatch, FeedForwardLanesMatchSerialWithMasks)
+{
+    // The batched feed-forward kernel: every lane must match a serial
+    // activate() of the same inputs bit for bit, with retired lanes
+    // masked out and the survivors unperturbed.
+    constexpr int kGenomes = 200;
+    constexpr int kLanes = 5;
+    constexpr int kTicks = 4;
+    for (int i = 0; i < kGenomes; ++i) {
+        XorWow rng(deriveSeed(kFuzzBase ^ 0xBA7C, static_cast<uint64_t>(i)));
+        const bool allow_cycles = i % 4 == 3;
+        const NeatConfig cfg = fuzzConfig(rng, allow_cycles);
+        const Genome g = fuzzGenome(cfg, rng, allow_cycles);
+        SCOPED_TRACE("batch genome " + std::to_string(i));
+
+        const auto plan = CompiledPlan::compile(g, cfg);
+        ASSERT_FALSE(plan.isRecurrent());
+
+        BatchScratch batch;
+        plan.beginBatch(kLanes, batch);
+        std::vector<uint8_t> active(kLanes, 1);
+        PlanScratch serial;
+        for (int t = 0; t < kTicks; ++t) {
+            // Retire one lane per tick, from the back.
+            if (t > 0)
+                active[static_cast<size_t>(kLanes - t)] = 0;
+            std::vector<std::vector<double>> lane_in(kLanes);
+            for (int l = 0; l < kLanes; ++l) {
+                lane_in[static_cast<size_t>(l)].resize(
+                    static_cast<size_t>(cfg.numInputs));
+                for (auto &x : lane_in[static_cast<size_t>(l)])
+                    x = rng.uniform(-5.0, 5.0);
+                for (int x = 0; x < cfg.numInputs; ++x)
+                    batch.inputs[static_cast<size_t>(x) * kLanes +
+                                 static_cast<size_t>(l)] =
+                        lane_in[static_cast<size_t>(l)]
+                               [static_cast<size_t>(x)];
+            }
+            plan.activateBatch(kLanes, active.data(), batch);
+            for (int l = 0; l < kLanes; ++l) {
+                if (!active[static_cast<size_t>(l)])
+                    continue;
+                plan.activate(lane_in[static_cast<size_t>(l)], serial);
+                for (size_t o = 0; o < serial.outputs.size(); ++o) {
+                    EXPECT_TRUE(bitEqual(
+                        batch.outputs[o * kLanes + static_cast<size_t>(l)],
+                        serial.outputs[o]))
+                        << "lane " << l << " tick " << t << " output "
+                        << o;
+                }
+            }
+        }
+    }
+}
+
 TEST(CompiledPlan, WrongInputCountThrows)
 {
     NeatConfig cfg;

@@ -137,6 +137,36 @@ TEST(GeneCodec, GenomeSerializationOrdered)
     }
 }
 
+TEST(GeneCodec, BufferOverloadMatchesAllocatingEncode)
+{
+    // The zero-alloc overload (caller-provided buffer, straight SoA
+    // walk) must emit word-for-word the same stream as the allocating
+    // overload, and must reuse the buffer's capacity across genomes.
+    neat::NeatConfig cfg;
+    cfg.numInputs = 4;
+    cfg.numOutputs = 2;
+    GeneCodec codec;
+    std::vector<PackedGene> buffer;
+
+    neat::NodeIndexer idx(cfg.numOutputs);
+    XorWow rng(29);
+    auto g = neat::Genome::createNew(1, cfg, idx, rng);
+    for (int round = 0; round < 20; ++round) {
+        g.mutate(cfg, idx, rng);
+        const auto expect = codec.encodeGenome(g, cfg);
+        codec.encodeGenome(g, cfg, buffer);
+        ASSERT_EQ(buffer.size(), expect.size()) << "round " << round;
+        for (size_t i = 0; i < expect.size(); ++i)
+            EXPECT_EQ(buffer[i].raw, expect[i].raw)
+                << "round " << round << " word " << i;
+    }
+
+    // A warmed buffer never reallocates for same-or-smaller genomes.
+    const auto warmed = buffer.capacity();
+    codec.encodeGenome(g, cfg, buffer);
+    EXPECT_EQ(buffer.capacity(), warmed);
+}
+
 TEST(GeneCodec, GenomeRoundTripPreservesStructure)
 {
     neat::NeatConfig cfg;
