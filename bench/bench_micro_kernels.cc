@@ -10,6 +10,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "env/runner.hh"
 #include "hw/eve_pe.hh"
 #include "hw/gene_split.hh"
 #include "nn/compiled_plan.hh"
@@ -465,6 +466,270 @@ BM_EvalPathBatchedEpisodesAtariScale(benchmark::State &state)
 }
 BENCHMARK(BM_EvalPathBatchedEpisodesAtariScale)->Arg(25)->Arg(50)->Arg(100);
 
+// --- heterogeneous wave scheduler --------------------------------------------
+// The episodesPerEval == 1 regime: one episode each of kWaveGenomes
+// *different* genomes. Per-genome episode batching degenerates to
+// lane width 1 here — only the cross-genome wave scheduler
+// (env::evaluateWave) fills the lanes. The triple below runs the
+// same episode set through the serial loop, the per-genome batched
+// kernel and the heterogeneous wave; outputs are asserted
+// bit-identical and the wave's measured lane occupancy is asserted
+// >= 0.9 (vs 1/kWaveLanes for per-genome batching on the same
+// shards) before anything is timed. All three retire identical
+// forward-pass counts per iteration, so items_per_second compares
+// directly: the wave's cost delta vs serial is pure scheduling
+// overhead, paid for the near-full modeled PE-array occupancy the
+// stats report.
+
+constexpr int kWaveGenomes = 64;
+constexpr int kWaveLanes = 8;
+
+namespace
+{
+
+/**
+ * Deterministic fixed-length environment: episode length is derived
+ * from the reset seed (uniform in [40, 120]), observations are a
+ * seeded pseudo-random stream, rewards are 1 per step. Gives the
+ * wave scheduler realistic episode-length variance and refill
+ * pressure with negligible dynamics cost, so the triple times
+ * inference + scheduling, not gym physics.
+ */
+class FixedLengthEnv final : public env::Environment
+{
+  public:
+    explicit FixedLengthEnv(int inputs) : inputs_(inputs) {}
+
+    const std::string &
+    name() const override
+    {
+        static const std::string n = "FixedLength";
+        return n;
+    }
+    int observationSize() const override { return inputs_; }
+    env::ActionSpace
+    actionSpace() const override
+    {
+        env::ActionSpace space;
+        space.kind = env::ActionSpace::Kind::Discrete;
+        space.n = kCmpOutputs;
+        return space;
+    }
+    int recommendedOutputs() const override { return kCmpOutputs; }
+    int maxSteps() const override { return 120; }
+    double targetFitness() const override { return 1e18; }
+
+    std::vector<double>
+    reset(uint64_t seed) override
+    {
+        resetBookkeeping();
+        rng_ = XorWow(seed ^ 0xF17Eull);
+        length_ = 40 + static_cast<int>(seed % 81);
+        return observe();
+    }
+
+    env::StepResult
+    step(const env::Action &) override
+    {
+        accumulate(1.0);
+        env::StepResult sr;
+        sr.reward = 1.0;
+        sr.done = stepsTaken_ >= length_;
+        sr.observation = observe();
+        return sr;
+    }
+
+  private:
+    std::vector<double>
+    observe()
+    {
+        std::vector<double> obs(static_cast<size_t>(inputs_));
+        for (auto &x : obs)
+            x = rng_.uniform(-1.0, 1.0);
+        return obs;
+    }
+
+    int inputs_;
+    int length_ = 40;
+    XorWow rng_{1};
+};
+
+/** The wave workload: kWaveGenomes distinct plans, one episode each. */
+struct WaveWorkload
+{
+    NeatConfig cfg;
+    std::vector<Genome> genomes;
+    std::vector<nn::CompiledPlan> plans;
+    std::vector<uint64_t> seeds;
+
+    explicit WaveWorkload(int inputs)
+        : cfg(benchConfig(inputs, kCmpOutputs))
+    {
+        genomes.reserve(kWaveGenomes);
+        plans.reserve(kWaveGenomes);
+        seeds.reserve(kWaveGenomes);
+        for (int i = 0; i < kWaveGenomes; ++i) {
+            genomes.push_back(denseGenome(
+                cfg, kCmpHidden, kCmpSeed + static_cast<uint64_t>(i)));
+            plans.push_back(
+                nn::CompiledPlan::compile(genomes.back(), cfg));
+            seeds.push_back(1000 + 37 * static_cast<uint64_t>(i));
+        }
+    }
+
+    std::vector<env::WaveItem>
+    items() const
+    {
+        std::vector<env::WaveItem> out;
+        out.reserve(plans.size());
+        for (size_t i = 0; i < plans.size(); ++i)
+            out.push_back({&plans[i], seeds[i]});
+        return out;
+    }
+};
+
+std::vector<env::Environment *>
+waveLanes(std::vector<std::unique_ptr<env::Environment>> &owned,
+          int inputs, int width)
+{
+    std::vector<env::Environment *> lanes;
+    for (int l = 0; l < width; ++l) {
+        owned.push_back(std::make_unique<FixedLengthEnv>(inputs));
+        lanes.push_back(owned.back().get());
+    }
+    return lanes;
+}
+
+/**
+ * The triple's contract, checked before timing: every wave episode
+ * bit-identical to the serial loop, and measured lane occupancy at
+ * least 0.9 — the acceptance bar for the cross-genome scheduler at
+ * episodesPerEval == 1. Returns the measured total environment steps
+ * across the workload, so every leg's items_per_second normalizes to
+ * the same env-steps count without re-deriving the episode lengths.
+ */
+long
+assertWaveMatchesSerial(const WaveWorkload &w)
+{
+    std::vector<std::unique_ptr<env::Environment>> owned;
+    const auto lanes = waveLanes(owned, w.cfg.numInputs, kWaveLanes);
+    env::WaveScratch scratch;
+    const auto wave = env::evaluateWave(w.items(), lanes, scratch);
+
+    FixedLengthEnv serial_env(w.cfg.numInputs);
+    nn::PlanScratch pscratch;
+    for (size_t i = 0; i < w.plans.size(); ++i) {
+        env::EpisodeRunner runner(serial_env, w.seeds[i], 1);
+        const auto expect =
+            runner.runEpisode(w.plans[i], pscratch, w.seeds[i]);
+        const auto &got = wave.episodes[i];
+        GENESYS_ASSERT(
+            std::bit_cast<uint64_t>(got.fitness) ==
+                    std::bit_cast<uint64_t>(expect.fitness) &&
+                got.steps == expect.steps &&
+                got.macs == expect.macs,
+            "wave/serial episode diverges at item " << i);
+    }
+    GENESYS_ASSERT(wave.stats.occupancy() >= 0.9,
+                   "heterogeneous wave occupancy "
+                       << wave.stats.occupancy()
+                       << " below the 0.9 acceptance bar");
+
+    long steps = 0;
+    for (const auto &res : wave.episodes)
+        steps += res.steps;
+    return steps;
+}
+
+/** Serial leg: one episode per genome, one environment, no lanes. */
+void
+evalPathWaveSerial(benchmark::State &state, const WaveWorkload &w)
+{
+    const long total_steps = assertWaveMatchesSerial(w);
+    FixedLengthEnv env(w.cfg.numInputs);
+    nn::PlanScratch scratch;
+    for (auto _ : state) {
+        for (size_t i = 0; i < w.plans.size(); ++i) {
+            env::EpisodeRunner runner(env, w.seeds[i], 1);
+            benchmark::DoNotOptimize(
+                runner.runEpisode(w.plans[i], scratch, w.seeds[i]));
+        }
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            total_steps); // env-steps/s
+}
+
+/**
+ * Per-genome batched leg on kWaveLanes-wide shards: each genome's
+ * single episode occupies one lane, the other kWaveLanes - 1 idle —
+ * the occupancy collapse the heterogeneous scheduler removes.
+ */
+void
+evalPathWavePerGenomeBatch(benchmark::State &state,
+                           const WaveWorkload &w)
+{
+    const long total_steps = assertWaveMatchesSerial(w);
+    std::vector<std::unique_ptr<env::Environment>> owned;
+    const auto lanes = waveLanes(owned, w.cfg.numInputs, kWaveLanes);
+    env::EpisodeBatchScratch scratch;
+    for (auto _ : state) {
+        for (size_t i = 0; i < w.plans.size(); ++i) {
+            benchmark::DoNotOptimize(env::evaluateBatched(
+                w.plans[i], {w.seeds[i]}, lanes, scratch));
+        }
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            total_steps); // env-steps/s
+    state.counters["lane_occupancy"] = 1.0 / kWaveLanes;
+}
+
+/** Heterogeneous wave leg: all genomes share the lane shard. */
+void
+evalPathWaveHeterogeneous(benchmark::State &state,
+                          const WaveWorkload &w)
+{
+    const long total_steps = assertWaveMatchesSerial(w);
+    std::vector<std::unique_ptr<env::Environment>> owned;
+    const auto lanes = waveLanes(owned, w.cfg.numInputs, kWaveLanes);
+    const auto items = w.items();
+    env::WaveScratch scratch;
+    double occupancy = 0.0;
+    for (auto _ : state) {
+        const auto wave = env::evaluateWave(items, lanes, scratch);
+        occupancy = wave.stats.occupancy();
+        benchmark::DoNotOptimize(&wave);
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            total_steps); // env-steps/s
+    state.counters["lane_occupancy"] = occupancy;
+}
+
+} // namespace
+
+static void
+BM_EvalPathWaveSerialAtariScale(benchmark::State &state)
+{
+    evalPathWaveSerial(state, WaveWorkload(kAtariInputs));
+}
+BENCHMARK(BM_EvalPathWaveSerialAtariScale);
+
+static void
+BM_EvalPathWavePerGenomeBatchAtariScale(benchmark::State &state)
+{
+    evalPathWavePerGenomeBatch(state, WaveWorkload(kAtariInputs));
+}
+BENCHMARK(BM_EvalPathWavePerGenomeBatchAtariScale);
+
+static void
+BM_EvalPathWaveHeterogeneousAtariScale(benchmark::State &state)
+{
+    evalPathWaveHeterogeneous(state, WaveWorkload(kAtariInputs));
+}
+BENCHMARK(BM_EvalPathWaveHeterogeneousAtariScale);
+
 // --- recurrent: interpreter vs compiled plan ---------------------------------
 // The 64-hidden dense genome augmented with recurrent structure: a
 // self-loop on every fourth hidden node plus an output->hidden back
@@ -569,6 +834,92 @@ BM_RecurrentStepCompiled64Hidden(benchmark::State &state)
         static_cast<double>(plan.macsPerInference());
 }
 BENCHMARK(BM_RecurrentStepCompiled64Hidden);
+
+namespace
+{
+
+/**
+ * Batched recurrent lanes must match per-lane serial state ticks bit
+ * for bit — including the cross-tick prev/curr state each lane
+ * carries — before any lanes-variant timing is reported.
+ */
+void
+assertRecurrentBatchMatchesSerial(const nn::CompiledPlan &plan,
+                                  const NeatConfig &cfg, uint64_t seed)
+{
+    constexpr int L = kCmpLanes;
+    XorWow rng(seed);
+    std::vector<nn::PlanScratch> serial(L);
+    for (auto &s : serial)
+        plan.reset(s);
+    nn::BatchScratch batch;
+    plan.beginBatch(L, batch);
+    std::vector<uint8_t> active(L, 1);
+    for (int t = 0; t < 6; ++t) {
+        std::vector<std::vector<double>> lane_in(L);
+        for (int l = 0; l < L; ++l) {
+            lane_in[static_cast<size_t>(l)].resize(
+                static_cast<size_t>(cfg.numInputs));
+            for (auto &x : lane_in[static_cast<size_t>(l)])
+                x = rng.uniform(-3.0, 3.0);
+            for (int i = 0; i < cfg.numInputs; ++i)
+                batch.inputs[static_cast<size_t>(i) * L +
+                             static_cast<size_t>(l)] =
+                    lane_in[static_cast<size_t>(l)]
+                           [static_cast<size_t>(i)];
+        }
+        plan.activateBatch(L, active.data(), batch);
+        for (int l = 0; l < L; ++l) {
+            plan.activateRecurrent(lane_in[static_cast<size_t>(l)],
+                                   serial[static_cast<size_t>(l)]);
+            for (size_t o = 0;
+                 o < serial[static_cast<size_t>(l)].outputs.size();
+                 ++o) {
+                GENESYS_ASSERT(
+                    std::bit_cast<uint64_t>(
+                        batch.outputs[o * L +
+                                      static_cast<size_t>(l)]) ==
+                        std::bit_cast<uint64_t>(
+                            serial[static_cast<size_t>(l)]
+                                .outputs[o]),
+                    "recurrent batched/serial outputs diverge at lane "
+                        << l << " output " << o << " tick " << t);
+            }
+        }
+    }
+}
+
+} // namespace
+
+static void
+BM_RecurrentStepBatchedLanes64Hidden(benchmark::State &state)
+{
+    // The lanes variant of the recurrent step: kCmpLanes episodes of
+    // one recurrent plan advance one tick per activateBatch, the
+    // per-edge accumulation running contiguously across lanes.
+    // Reported per lane-tick, so the ratio to
+    // BM_RecurrentStepCompiled64Hidden is the recurrent batching win.
+    auto cfg = benchConfig(kCmpInputs, kCmpOutputs);
+    cfg.feedForward = false;
+    const auto g = recurrentBenchGenome(cfg);
+    const auto plan = nn::CompiledPlan::compileRecurrent(g, cfg);
+    assertRecurrentBatchMatchesSerial(plan, cfg, kCmpSeed + 4);
+
+    nn::BatchScratch scratch;
+    plan.beginBatch(kCmpLanes, scratch);
+    std::fill(scratch.inputs.begin(), scratch.inputs.end(), 0.5);
+    std::vector<uint8_t> active(kCmpLanes, 1);
+    for (auto _ : state) {
+        plan.activateBatch(kCmpLanes, active.data(), scratch);
+        benchmark::DoNotOptimize(scratch.outputs.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            kCmpLanes); // lane-ticks/s
+    state.counters["macs_per_step"] =
+        static_cast<double>(plan.macsPerInference());
+}
+BENCHMARK(BM_RecurrentStepBatchedLanes64Hidden);
 
 static void
 BM_ActivateCompiledGrown(benchmark::State &state)

@@ -29,6 +29,11 @@ System::System(SystemConfig cfg)
     ecfg.episodes = spec_.episodes;
     ecfg.waveWidth = cfg_.soc.numEvePe;
     ecfg.batchEpisodes = cfg_.batchEpisodes;
+    ecfg.heterogeneousLanes = cfg_.heterogeneousLanes;
+    ecfg.waveLanes = cfg_.waveLanes;
+    // CI test-matrix hook: GENESYS_EVAL_MODE pins the execution mode
+    // for every System-level consumer (all modes are bit-identical).
+    exec::applyEvalModeFromEnv(ecfg);
     engine_ = std::make_unique<exec::EvalEngine>(std::move(ecfg));
 }
 

@@ -43,6 +43,21 @@ struct SystemConfig
      * batchEpisodes). Results are bit-identical either way.
      */
     bool batchEpisodes = true;
+    /**
+     * Pack one episode each of many *different* genomes per lane
+     * wave when episodesPerEval == 1 (see exec::EvalEngineConfig::
+     * heterogeneousLanes); falls back to per-genome episode batching
+     * at episodesPerEval > 1 and is inert when `batchEpisodes` is
+     * false (the blanket opt-out selecting the serial loop). Results
+     * are bit-identical either way.
+     *
+     * Note: the GENESYS_EVAL_MODE environment variable ("serial",
+     * "batch", "waves") overrides this knob and `batchEpisodes` —
+     * the CI test-matrix hook (exec::applyEvalModeFromEnv).
+     */
+    bool heterogeneousLanes = true;
+    /** Wave-shard lane width per worker (0 = engine default). */
+    int waveLanes = 0;
     /** Simulate the SoC alongside the algorithm? */
     bool simulateHardware = true;
     hw::SocParams soc{};

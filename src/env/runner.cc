@@ -262,6 +262,178 @@ evaluateBatched(const nn::CompiledPlan &plan,
     return detail;
 }
 
+double
+WaveStats::occupancy() const
+{
+    return laneSlotSteps > 0 ? static_cast<double>(activeLaneSteps) /
+                                   static_cast<double>(laneSlotSteps)
+                             : 0.0;
+}
+
+WaveResult
+evaluateWave(const std::vector<WaveItem> &items,
+             const std::vector<Environment *> &lanes,
+             WaveScratch &scratch)
+{
+    GENESYS_ASSERT(!lanes.empty(),
+                   "evaluateWave needs at least one environment lane");
+    WaveResult out;
+    out.episodes.resize(items.size());
+    if (items.empty())
+        return out;
+    for (const WaveItem &it : items)
+        GENESYS_ASSERT(it.plan != nullptr,
+                       "evaluateWave item carries no compiled plan");
+
+    const ActionSpace space = lanes.front()->actionSpace();
+    const size_t num_lanes = lanes.size();
+    const size_t W = std::min(num_lanes, items.size());
+
+    scratch.net.resize(num_lanes);
+    scratch.obs.resize(num_lanes);
+    scratch.item.assign(num_lanes, -1);
+    scratch.executed.assign(num_lanes, 0);
+
+    // Bind item `next` to lane `l`: reset the lane's recurrent state
+    // and its environment. The lane first activates on the *next*
+    // superstep — exactly when a freshly filled PE would join the BSP
+    // lockstep.
+    size_t next = 0;
+    auto fillLane = [&](size_t l) {
+        const WaveItem &it = items[next];
+        scratch.item[l] = static_cast<int>(next);
+        ++next;
+        it.plan->reset(scratch.net[l]);
+        scratch.obs[l] = lanes[l]->reset(it.seed);
+    };
+    for (size_t l = 0; l < W; ++l)
+        fillLane(l);
+
+    size_t live = W;
+    while (live > 0) {
+        ++out.stats.supersteps;
+        out.stats.laneSlotSteps += static_cast<long>(num_lanes);
+        out.stats.activeLaneSteps += static_cast<long>(live);
+
+        // --- forward pass: every live lane's plan on its observation.
+        // Live lanes sharing a feed-forward plan execute as one
+        // grouped activateBatch (gathered in lane order, so callers
+        // that sort items by plan get contiguous CSR accumulation
+        // across the group); recurrent lanes keep their cross-tick
+        // state in the per-lane scratch and dispatch individually.
+        std::fill(scratch.executed.begin(), scratch.executed.end(),
+                  uint8_t{0});
+        for (size_t l = 0; l < W; ++l) {
+            if (scratch.item[l] < 0 || scratch.executed[l])
+                continue;
+            const nn::CompiledPlan &plan =
+                *items[static_cast<size_t>(scratch.item[l])].plan;
+            GENESYS_ASSERT(scratch.obs[l].size() == plan.numInputs(),
+                           "observation size "
+                               << scratch.obs[l].size()
+                               << " != plan inputs "
+                               << plan.numInputs());
+            scratch.groupLanes.clear();
+            scratch.groupLanes.push_back(static_cast<int>(l));
+            if (!plan.isRecurrent()) {
+                for (size_t m = l + 1; m < W; ++m) {
+                    if (scratch.item[m] >= 0 && !scratch.executed[m] &&
+                        items[static_cast<size_t>(scratch.item[m])]
+                                .plan == &plan)
+                        scratch.groupLanes.push_back(
+                            static_cast<int>(m));
+                }
+            }
+
+            if (scratch.groupLanes.size() == 1) {
+                // activate() forwards recurrent plans to the tick
+                // dispatch itself.
+                plan.activate(scratch.obs[l], scratch.net[l]);
+                scratch.executed[l] = 1;
+                continue;
+            }
+
+            const int G = static_cast<int>(scratch.groupLanes.size());
+            const size_t Gz = static_cast<size_t>(G);
+            plan.beginBatch(G, scratch.groupNet);
+            const int num_inputs = static_cast<int>(plan.numInputs());
+            const int num_outputs =
+                static_cast<int>(plan.numOutputs());
+            for (int g = 0; g < G; ++g) {
+                const size_t lane =
+                    static_cast<size_t>(scratch.groupLanes
+                                            [static_cast<size_t>(g)]);
+                // Same panic every other eval path raises when an
+                // environment misreports its observation size —
+                // non-lead group members included, so the gather
+                // below never reads out of bounds.
+                GENESYS_ASSERT(scratch.obs[lane].size() ==
+                                   plan.numInputs(),
+                               "observation size "
+                                   << scratch.obs[lane].size()
+                                   << " != plan inputs "
+                                   << plan.numInputs());
+                for (int i = 0; i < num_inputs; ++i)
+                    scratch.groupNet
+                        .inputs[static_cast<size_t>(i) * Gz +
+                                static_cast<size_t>(g)] =
+                        scratch.obs[lane][static_cast<size_t>(i)];
+            }
+            scratch.groupActive.assign(Gz, 1);
+            plan.activateBatch(G, scratch.groupActive.data(),
+                               scratch.groupNet);
+            out.stats.groupedLaneActivations += G;
+            // Scatter each lane's output column into its per-lane
+            // scratch so the environment-step phase below reads one
+            // uniform location regardless of dispatch shape.
+            for (int g = 0; g < G; ++g) {
+                const size_t lane =
+                    static_cast<size_t>(scratch.groupLanes
+                                            [static_cast<size_t>(g)]);
+                scratch.net[lane].outputs.resize(
+                    static_cast<size_t>(num_outputs));
+                for (int o = 0; o < num_outputs; ++o)
+                    scratch.net[lane]
+                        .outputs[static_cast<size_t>(o)] =
+                        scratch.groupNet
+                            .outputs[static_cast<size_t>(o) * Gz +
+                                     static_cast<size_t>(g)];
+                scratch.executed[lane] = 1;
+            }
+        }
+
+        // --- environment step: each live lane advances its own
+        // episode, in lane order. A terminating lane records its
+        // result and is refilled from the pending queue (or parked
+        // when the queue is dry).
+        for (size_t l = 0; l < W; ++l) {
+            if (scratch.item[l] < 0)
+                continue;
+            const size_t idx = static_cast<size_t>(scratch.item[l]);
+            StepResult sr = lanes[l]->step(
+                decodeAction(space, scratch.net[l].outputs));
+            scratch.obs[l] = std::move(sr.observation);
+            if (!sr.done)
+                continue;
+            EpisodeResult &res = out.episodes[idx];
+            res.cumulativeReward = lanes[l]->cumulativeReward();
+            res.fitness = lanes[l]->episodeFitness();
+            res.steps = lanes[l]->stepsTaken();
+            res.inferences = res.steps; // one pass per step
+            res.macs =
+                items[idx].plan->macsPerInference() * res.inferences;
+            if (next < items.size()) {
+                fillLane(l);
+                ++out.stats.refills;
+            } else {
+                scratch.item[l] = -1;
+                --live;
+            }
+        }
+    }
+    return out;
+}
+
 neat::NeatConfig
 configForEnvironment(const Environment &env)
 {

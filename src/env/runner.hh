@@ -195,6 +195,110 @@ evaluateBatched(const nn::CompiledPlan &plan,
                 EpisodeBatchScratch &scratch);
 
 /**
+ * One unit of heterogeneous-wave work: a single episode of a single
+ * compiled plan. Unlike evaluateBatched — where every lane runs the
+ * *same* plan — a wave mixes items of different genomes, so each item
+ * names the plan that drives its lane (borrowed, read-only).
+ */
+struct WaveItem
+{
+    const nn::CompiledPlan *plan = nullptr;
+    /** Episode seed — fully determines the episode given the plan. */
+    uint64_t seed = 0;
+};
+
+/**
+ * Lane-occupancy accounting for one evaluateWave call — the
+ * observable form of the PE-array utilization the heterogeneous wave
+ * path exists to raise. One "lane slot step" is one lane for one BSP
+ * superstep; occupancy is the fraction of those slots that held a
+ * live episode.
+ */
+struct WaveStats
+{
+    /** BSP supersteps executed (one batched lockstep each). */
+    long supersteps = 0;
+    /** lanes.size() slots per superstep, summed over supersteps. */
+    long laneSlotSteps = 0;
+    /** Live-lane slots summed over supersteps (<= laneSlotSteps). */
+    long activeLaneSteps = 0;
+    /** Episodes started on a lane freed mid-wave (the refill queue). */
+    long refills = 0;
+    /**
+     * Live lanes executed through a shared-plan grouped
+     * CompiledPlan::activateBatch dispatch rather than a per-lane
+     * activate — nonzero only when a wave holds several episodes of
+     * one plan (e.g. episodesPerEval > 1 mixes).
+     */
+    long groupedLaneActivations = 0;
+
+    /** activeLaneSteps / laneSlotSteps; 0 when nothing ran. */
+    double occupancy() const;
+};
+
+/**
+ * Caller-owned mutable state for evaluateWave: per-lane plan
+ * scratches (recurrent lane state lives here across supersteps),
+ * observation buffers and item bindings, plus the staging buffers for
+ * shared-plan grouped dispatch. Reusing one WaveScratch per worker
+ * across calls makes the wave loop allocation-light once warm. Not
+ * shareable across threads.
+ */
+struct WaveScratch
+{
+    /** Per-lane plan activation state (index = lane). */
+    std::vector<nn::PlanScratch> net;
+    /** Latest observation per lane. */
+    std::vector<std::vector<double>> obs;
+    /** Item index driving each lane; -1 = idle. */
+    std::vector<int> item;
+    /** Per-superstep "already executed" marker (plan grouping). */
+    std::vector<uint8_t> executed;
+    /** Lanes gathered into the current shared-plan group. */
+    std::vector<int> groupLanes;
+    /** All-live mask for grouped dispatch. */
+    std::vector<uint8_t> groupActive;
+    /** Batch buffers for shared-plan grouped dispatch. */
+    nn::BatchScratch groupNet;
+};
+
+/** Outcome of one evaluateWave call. */
+struct WaveResult
+{
+    /** One result per item, in item order. */
+    std::vector<EpisodeResult> episodes;
+    WaveStats stats;
+};
+
+/**
+ * Evaluate a queue of plan-heterogeneous episodes in BSP lockstep
+ * waves — the cross-genome generalization of evaluateBatched, and the
+ * software mirror of the paper's PE array keeping every PE busy with
+ * a *different* genome in the same wave. The first lanes.size() items
+ * fill the lanes; every superstep activates each live lane's plan on
+ * its observation and steps its environment, and a lane whose episode
+ * terminates is immediately refilled from the pending item queue, so
+ * lane occupancy stays near 1 until the queue drains (WaveStats
+ * reports it). Lanes whose items share one feed-forward plan are
+ * executed as a single grouped activateBatch dispatch (lanes scanned
+ * in order, so items sorted by plan keep the per-edge CSR
+ * accumulation contiguous across the group); recurrent plans and
+ * singleton groups dispatch per lane.
+ *
+ * `lanes` are distinct same-named environment instances (an
+ * exec::EnvPool wave shard); `scratch` is the caller's reusable wave
+ * scratch. Each item's EpisodeResult is bit-identical, field for
+ * field, to running that (plan, seed) episode alone through
+ * EpisodeRunner::runEpisode — lane packing, grouping and refill never
+ * reassociate a lane's arithmetic or reorder its environment
+ * stepping.
+ */
+WaveResult
+evaluateWave(const std::vector<WaveItem> &items,
+             const std::vector<Environment *> &lanes,
+             WaveScratch &scratch);
+
+/**
  * Build a NEAT config matched to an environment: observation size in,
  * recommended outputs out, paper defaults elsewhere (population 150,
  * full direct initial connectivity).

@@ -10,7 +10,12 @@
  * A shard holds `lanesPerWorker` instances so a worker can step a
  * genome's episodes in BSP lockstep waves (env::evaluateBatched) —
  * one environment per concurrent episode lane, mirroring the paper's
- * PE-array wave execution.
+ * PE-array wave execution. The same shard doubles as the worker's
+ * *wave shard* for the cross-genome scheduler (env::evaluateWave):
+ * its lanes then hold episodes of *different* genomes, and each lane
+ * environment persists across refills — a freed lane's instance is
+ * simply reset(seed) for the next pending genome, so shard ownership
+ * never churns mid-wave.
  */
 
 #ifndef GENESYS_EXEC_ENV_POOL_HH

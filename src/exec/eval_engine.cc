@@ -1,6 +1,9 @@
 #include "exec/eval_engine.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -51,6 +54,37 @@ BatchStats::lockstepEfficiency() const
                           : 0.0;
 }
 
+double
+BatchStats::laneOccupancy() const
+{
+    return waveLaneSlotSteps > 0
+               ? static_cast<double>(waveActiveLaneSteps) /
+                     static_cast<double>(waveLaneSlotSteps)
+               : 0.0;
+}
+
+void
+applyEvalModeFromEnv(EvalEngineConfig &cfg)
+{
+    const char *mode = std::getenv("GENESYS_EVAL_MODE");
+    if (mode == nullptr || *mode == '\0')
+        return;
+    const std::string m(mode);
+    if (m == "serial") {
+        cfg.batchEpisodes = false;
+        cfg.heterogeneousLanes = false;
+    } else if (m == "batch") {
+        cfg.batchEpisodes = true;
+        cfg.heterogeneousLanes = false;
+    } else if (m == "waves") {
+        cfg.batchEpisodes = true;
+        cfg.heterogeneousLanes = true;
+    } else {
+        fatal("unknown GENESYS_EVAL_MODE \"" + m +
+              "\" (expected serial, batch or waves)");
+    }
+}
+
 uint64_t
 EvalEngine::mixSeed(uint64_t base, uint64_t genomeKey, uint64_t episode)
 {
@@ -88,19 +122,78 @@ resolveLanes(const EvalEngineConfig &cfg)
     return std::max(1, std::min(lanes, cfg.episodes));
 }
 
+/** Default lane width of a worker's heterogeneous wave shard. */
+constexpr int kDefaultWaveLanes = 8;
+
+/**
+ * The single wave-path activation predicate — shard sizing
+ * (resolveWaveLanes) and batch routing (usesHeterogeneousWaves) must
+ * agree, so both read this. batchEpisodes == false is the blanket
+ * batching opt-out: it selects the plain serial loop, never the wave
+ * scheduler.
+ */
+bool
+wavesActive(const EvalEngineConfig &cfg)
+{
+    return cfg.batchEpisodes && cfg.heterogeneousLanes &&
+           cfg.episodes == 1;
+}
+
+/** Wave-shard lanes `cfg` needs (1 when the wave path is inactive). */
+int
+resolveWaveLanes(const EvalEngineConfig &cfg)
+{
+    if (!wavesActive(cfg))
+        return 1;
+    return cfg.waveLanes > 0 ? cfg.waveLanes : kDefaultWaveLanes;
+}
+
 } // namespace
 
 EvalEngine::EvalEngine(EvalEngineConfig cfg)
     : cfg_(std::move(cfg)),
       pool_(ThreadPool::resolveThreads(cfg_.numThreads)),
-      envs_(cfg_.envName, pool_.size(), resolveLanes(cfg_)),
-      batchScratch_(static_cast<size_t>(pool_.size()))
+      envs_(cfg_.envName, pool_.size(),
+            std::max(resolveLanes(cfg_), resolveWaveLanes(cfg_))),
+      batchScratch_(static_cast<size_t>(pool_.size())),
+      waveScratch_(static_cast<size_t>(pool_.size()))
 {
     GENESYS_ASSERT(cfg_.episodes > 0,
                    "EvalEngine needs episodes > 0, got "
                        << cfg_.episodes);
     cfg_.numThreads = pool_.size();
-    cfg_.episodeLanes = envs_.lanesPerWorker();
+    cfg_.episodeLanes = resolveLanes(cfg_);
+    cfg_.waveLanes = resolveWaveLanes(cfg_);
+}
+
+bool
+EvalEngine::usesHeterogeneousWaves() const
+{
+    return wavesActive(cfg_);
+}
+
+void
+EvalEngine::runParallel(std::size_t count,
+                        const std::function<void(std::size_t, int)> &body)
+{
+    // An exception escaping a pool worker's jobBody_ would terminate
+    // the process (workers have no handler); capture the first one
+    // here and rethrow it on the calling thread once the batch joins,
+    // so a bad genome (e.g. a plan-compile validation failure)
+    // surfaces as an ordinary exception at any thread count.
+    std::mutex mutex;
+    std::exception_ptr first;
+    pool_.parallelFor(count, [&](std::size_t i, int worker) {
+        try {
+            body(i, worker);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (!first)
+                first = std::current_exception();
+        }
+    });
+    if (first)
+        std::rethrow_exception(first);
 }
 
 std::vector<GenomeEvalResult>
@@ -121,40 +214,52 @@ EvalEngine::evaluateGeneration(const std::vector<neat::GenomeHandle> &batch,
         batchKeys.push_back(h.key);
     planCache_.beginGeneration(batchKeys);
 
-    // Fan the genomes out. Each item touches only its own results
-    // slot and the worker's private environment shard, so the hot
-    // loop is lock-free (the plan cache takes a brief lock per
-    // genome, once, outside the episode loop); writing by index makes
-    // the output order (and hence every downstream consumer)
-    // independent of work stealing. Each genome is compiled exactly
-    // once and the resulting immutable plan is shared read-only by
-    // all of its episodes and by workload accounting. A genome's
-    // episodes run in BSP lockstep waves across the worker's episode
-    // lanes (batched kernel) unless batching is disabled — both paths
-    // are bit-identical, per episode and in aggregate.
-    pool_.parallelFor(
-        batch.size(), [&](std::size_t i, int worker) {
-            const neat::GenomeHandle &h = batch[i];
-            std::vector<uint64_t> seeds(
-                static_cast<std::size_t>(cfg_.episodes));
-            for (int e = 0; e < cfg_.episodes; ++e)
-                seeds[static_cast<std::size_t>(e)] =
-                    seedFor(h.key, e);
+    lastBatch_ = BatchStats{};
 
-            GenomeEvalResult &out = results[i];
-            out.genomeKey = h.key;
-            out.plan = planCache_.acquire(h.key, *h.genome, cfg);
-            if (cfg_.batchEpisodes) {
-                out.detail = env::evaluateBatched(
-                    *out.plan, seeds, envs_.shard(worker),
-                    batchScratch_[static_cast<std::size_t>(worker)]);
-            } else {
-                env::EpisodeRunner runner(envs_.at(worker),
-                                          seeds.front(),
-                                          cfg_.episodes);
-                out.detail = runner.evaluateDetailed(*out.plan, seeds);
-            }
-        });
+    if (usesHeterogeneousWaves()) {
+        // Cross-genome wave scheduling: one episode each of many
+        // different genomes per lane wave, with lane refill — the
+        // occupancy lever when episodes == 1 collapses per-genome
+        // batching to a single lane.
+        evaluateWaves(batch, cfg, seedFor, results);
+    } else {
+        // Per-genome fan-out. Each item touches only its own results
+        // slot and the worker's private environment shard, so the hot
+        // loop is lock-free (the plan cache takes a brief lock per
+        // genome, once, outside the episode loop); writing by index
+        // makes the output order (and hence every downstream
+        // consumer) independent of work stealing. Each genome is
+        // compiled exactly once and the resulting immutable plan is
+        // shared read-only by all of its episodes and by workload
+        // accounting. A genome's episodes run in BSP lockstep waves
+        // across the worker's episode lanes (batched kernel) unless
+        // batching is disabled — both paths are bit-identical, per
+        // episode and in aggregate.
+        runParallel(
+            batch.size(), [&](std::size_t i, int worker) {
+                const neat::GenomeHandle &h = batch[i];
+                std::vector<uint64_t> seeds(
+                    static_cast<std::size_t>(cfg_.episodes));
+                for (int e = 0; e < cfg_.episodes; ++e)
+                    seeds[static_cast<std::size_t>(e)] =
+                        seedFor(h.key, e);
+
+                GenomeEvalResult &out = results[i];
+                out.genomeKey = h.key;
+                out.plan = planCache_.acquire(h.key, *h.genome, cfg);
+                if (cfg_.batchEpisodes) {
+                    out.detail = env::evaluateBatched(
+                        *out.plan, seeds, envs_.shard(worker),
+                        batchScratch_[static_cast<std::size_t>(worker)]);
+                } else {
+                    env::EpisodeRunner runner(envs_.at(worker),
+                                              seeds.front(),
+                                              cfg_.episodes);
+                    out.detail =
+                        runner.evaluateDetailed(*out.plan, seeds);
+                }
+            });
+    }
 
     // Map the batch onto EvE PE-array waves: genomes fill waves in
     // submission order, one PE per genome; each wave runs in BSP
@@ -163,7 +268,6 @@ EvalEngine::evaluateGeneration(const std::vector<neat::GenomeHandle> &batch,
         cfg_.waveWidth > 0
             ? cfg_.waveWidth
             : std::max<int>(1, static_cast<int>(batch.size()));
-    lastBatch_ = BatchStats{};
     lastBatch_.waveWidth = width;
     for (std::size_t start = 0; start < results.size();
          start += static_cast<std::size_t>(width)) {
@@ -180,6 +284,107 @@ EvalEngine::evaluateGeneration(const std::vector<neat::GenomeHandle> &batch,
         lastBatch_.waves.push_back(wave);
     }
     return results;
+}
+
+void
+EvalEngine::evaluateWaves(const std::vector<neat::GenomeHandle> &batch,
+                          const neat::NeatConfig &cfg,
+                          const SeedFn &seedFor,
+                          std::vector<GenomeEvalResult> &results)
+{
+    if (batch.empty())
+        return;
+
+    // Phase 1 — compile. Plans must exist before lanes can be packed
+    // (a wave dispatches per-lane plans), so the compile fan-out runs
+    // as its own parallel pass; the cache guarantees one compile per
+    // genome and elite carry-over exactly as on the per-genome path.
+    runParallel(batch.size(), [&](std::size_t i, int) {
+        const neat::GenomeHandle &h = batch[i];
+        results[i].genomeKey = h.key;
+        results[i].plan = planCache_.acquire(h.key, *h.genome, cfg);
+    });
+
+    // Phase 2 — rolling waves. The batch splits into contiguous
+    // chunks claimed by the workers; each chunk's episodes run
+    // through one rolling heterogeneous wave over the claiming
+    // worker's private lane shard (env::evaluateWave), refilling
+    // freed lanes from the chunk's pending queue. Every (genome,
+    // episode) outcome is a pure function of (plan, seed), so the
+    // chunking — like work stealing on the per-genome path — never
+    // affects results, only which shard computes them.
+    //
+    // Chunk count balances two pressures: more chunks even out the
+    // tail when episode lengths cluster unevenly across the batch (a
+    // worker stuck with the long-episode chunk would otherwise gate
+    // the generation), while a chunk needs a refill queue several
+    // waves deep to keep lane occupancy high (the drain tail costs
+    // about one wave per chunk). So: one chunk per worker by
+    // default, split finer — up to 4 per worker — only while every
+    // chunk keeps at least ~8 waves of items.
+    const std::size_t pool = static_cast<std::size_t>(pool_.size());
+    const std::size_t minChunk =
+        8 * static_cast<std::size_t>(cfg_.waveLanes);
+    std::size_t chunks = pool;
+    if (minChunk > 0 && batch.size() / minChunk > chunks)
+        chunks = std::min(batch.size() / minChunk, pool * 4);
+    chunks = std::min(chunks, batch.size());
+    const std::size_t per = (batch.size() + chunks - 1) / chunks;
+    const int episodes = cfg_.episodes;
+    std::vector<env::WaveStats> chunkStats(chunks);
+    runParallel(chunks, [&](std::size_t c, int worker) {
+        const std::size_t lo = c * per;
+        const std::size_t hi =
+            std::min(batch.size(), lo + per);
+        if (lo >= hi)
+            return;
+        // Items ordered by (genome, episode): a genome's episodes are
+        // adjacent, so at episodes > 1 same-plan lanes pack next to
+        // each other and group into one batched dispatch.
+        std::vector<env::WaveItem> items;
+        items.reserve((hi - lo) * static_cast<std::size_t>(episodes));
+        for (std::size_t i = lo; i < hi; ++i)
+            for (int e = 0; e < episodes; ++e)
+                items.push_back({results[i].plan.get(),
+                                 seedFor(batch[i].key, e)});
+
+        env::WaveResult wave = env::evaluateWave(
+            items, envs_.shard(worker),
+            waveScratch_[static_cast<std::size_t>(worker)]);
+        chunkStats[c] = wave.stats;
+
+        // Assemble each genome's EvalDetail from its episode slice,
+        // accumulating in episode order — the exact order of the
+        // serial evaluateDetailed loop, so the mean and totals are
+        // bit-identical, not merely equal up to reassociation.
+        std::size_t k = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+            env::EvalDetail &d = results[i].detail;
+            d = env::EvalDetail{};
+            d.episodes.reserve(static_cast<std::size_t>(episodes));
+            double total = 0.0;
+            for (int e = 0; e < episodes; ++e, ++k) {
+                env::EpisodeResult &res = wave.episodes[k];
+                total += res.fitness;
+                d.inferences += res.inferences;
+                d.macs += res.macs;
+                d.maxEpisodeSteps =
+                    std::max(d.maxEpisodeSteps, res.steps);
+                d.episodes.push_back(std::move(res));
+            }
+            d.fitness = total / static_cast<double>(episodes);
+        }
+    });
+
+    lastBatch_.laneCount = cfg_.waveLanes;
+    for (const env::WaveStats &s : chunkStats) {
+        lastBatch_.waveSupersteps += s.supersteps;
+        lastBatch_.waveLaneSlotSteps += s.laneSlotSteps;
+        lastBatch_.waveActiveLaneSteps += s.activeLaneSteps;
+        lastBatch_.waveRefills += s.refills;
+        lastBatch_.waveGroupedLaneActivations +=
+            s.groupedLaneActivations;
+    }
 }
 
 } // namespace genesys::exec

@@ -73,6 +73,22 @@ struct BatchStats
     int waveWidth = 0;
     std::vector<BatchWave> waves;
 
+    /**
+     * Measured lane occupancy of the heterogeneous-wave execution
+     * path (env::evaluateWave), aggregated across every worker's
+     * rolling wave. All zero when the batch ran through the serial or
+     * per-genome-batched episode loops instead. `laneCount` is the
+     * configured lane width per worker wave shard; the remaining
+     * counters aggregate the per-worker WaveStats — see
+     * env::WaveStats for field semantics.
+     */
+    int laneCount = 0;
+    long waveSupersteps = 0;
+    long waveLaneSlotSteps = 0;
+    long waveActiveLaneSteps = 0;
+    long waveRefills = 0;
+    long waveGroupedLaneActivations = 0;
+
     /** Total BSP supersteps across all waves (waves run back to back). */
     long lockstepSteps() const;
     /** Useful forward passes across all waves. */
@@ -85,6 +101,14 @@ struct BatchStats
      * idle behind the wave's longest one.
      */
     double lockstepEfficiency() const;
+    /**
+     * Fraction of heterogeneous-wave lane slots that held a live
+     * episode (waveActiveLaneSteps / waveLaneSlotSteps); 0 when the
+     * wave path did not run. The headline occupancy counter: > 0.9
+     * on an episodesPerEval == 1 batch large enough to keep the
+     * refill queue full, where per-genome batching idles at 1/lane.
+     */
+    double laneOccupancy() const;
 };
 
 /** Engine configuration. */
@@ -115,7 +139,41 @@ struct EvalEngineConfig
      * wave; values above `episodes` are clamped to it.
      */
     int episodeLanes = 0;
+    /**
+     * Pack one episode each of up to `waveLanes` *different* genomes
+     * into a plan-heterogeneous BSP wave (env::evaluateWave) when
+     * `episodes == 1` — the occupancy lever for the common
+     * single-episode configuration, where per-genome episode
+     * batching degenerates to lane width 1. Lanes freed by finished
+     * episodes refill from the worker's pending-genome queue, so
+     * measured lane occupancy (BatchStats::laneOccupancy) stays near
+     * 1. Falls back to per-genome episode batching when
+     * `episodes > 1`, and is inert when `batchEpisodes` is false —
+     * that knob remains the blanket opt-out selecting the plain
+     * serial loop. Results are bit-identical across all three
+     * execution paths.
+     */
+    bool heterogeneousLanes = true;
+    /**
+     * Lane width of each worker's wave shard in heterogeneous mode
+     * (0 = 8). The engine-wide lane count is numThreads * waveLanes.
+     * Resolved to 1 when the wave path is inactive.
+     */
+    int waveLanes = 0;
 };
+
+/**
+ * Apply the GENESYS_EVAL_MODE environment variable to `cfg`:
+ * "serial" disables episode batching and heterogeneous waves,
+ * "batch" selects per-genome episode batching only, and "waves"
+ * enables the full heterogeneous-wave scheduler. Unset (or empty)
+ * leaves `cfg` untouched; anything else is a fatal configuration
+ * error. This is the CI test-matrix hook — the workflow runs the
+ * whole suite once per mode — and core::System applies it on top of
+ * SystemConfig, so every System-level test exercises the selected
+ * path. All three modes are bit-identical by contract.
+ */
+void applyEvalModeFromEnv(EvalEngineConfig &cfg);
 
 /**
  * Persistent batch evaluator: construct once per run, submit one
@@ -176,7 +234,34 @@ class EvalEngine
     int episodes() const { return cfg_.episodes; }
     const EvalEngineConfig &config() const { return cfg_; }
 
+    /**
+     * Does this engine route generations through the plan-
+     * heterogeneous wave scheduler? True iff batching is enabled,
+     * `heterogeneousLanes` is set and the config evaluates one
+     * episode per genome.
+     */
+    bool usesHeterogeneousWaves() const;
+
   private:
+    /**
+     * parallelFor with exception containment: a throwing item (e.g. a
+     * plan-compile validation panic) is captured and rethrown on the
+     * calling thread after the batch joins, instead of escaping a
+     * pool worker and terminating the process. First exception wins;
+     * remaining items still run (their results are discarded by the
+     * rethrow).
+     */
+    void runParallel(std::size_t count,
+                     const std::function<void(std::size_t item,
+                                              int worker)> &body);
+
+    /** The heterogeneous-wave evaluation path (episodes == 1 fast
+     *  lane; also correct for episodes > 1). */
+    void evaluateWaves(const std::vector<neat::GenomeHandle> &batch,
+                       const neat::NeatConfig &cfg,
+                       const SeedFn &seedFor,
+                       std::vector<GenomeEvalResult> &results);
+
     EvalEngineConfig cfg_;
     ThreadPool pool_;
     EnvPool envs_;
@@ -188,6 +273,8 @@ class EvalEngine
      * allocates nothing once the buffers have warmed up.
      */
     std::vector<env::EpisodeBatchScratch> batchScratch_;
+    /** One heterogeneous-wave scratch per worker, reused likewise. */
+    std::vector<env::WaveScratch> waveScratch_;
 };
 
 } // namespace genesys::exec

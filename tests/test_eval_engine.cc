@@ -331,6 +331,104 @@ TEST(EvalEngineTest, BatchStatsMapOntoWaves)
     EXPECT_GT(stats.lockstepEfficiency(), 0.0);
 }
 
+// --- engine edges: tiny batches, bad genomes, bad configs --------------------
+
+TEST(EvalEngineTest, PopulationSmallerThanLaneWidth)
+{
+    // 3 genomes on 8-lane wave shards: spare lanes idle, results
+    // must still match the serial path genome for genome.
+    const auto [cfg, genomes] = makeGenomes(3, 31);
+
+    EvalEngineConfig serial_cfg;
+    serial_cfg.envName = "CartPole_v0";
+    serial_cfg.numThreads = 1;
+    serial_cfg.episodes = 1;
+    serial_cfg.batchEpisodes = false;
+    serial_cfg.heterogeneousLanes = false;
+    EvalEngine serial_engine(serial_cfg);
+    const auto reference = serial_engine.evaluateGeneration(
+        handlesOf(genomes), cfg, EvalEngine::perGenomeSeeds(17));
+
+    for (int threads : {1, 4}) {
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        EvalEngineConfig wcfg = serial_cfg;
+        wcfg.numThreads = threads;
+        wcfg.batchEpisodes = true;
+        wcfg.heterogeneousLanes = true;
+        wcfg.waveLanes = 8;
+        EvalEngine engine(wcfg);
+        ASSERT_TRUE(engine.usesHeterogeneousWaves());
+        const auto waved = engine.evaluateGeneration(
+            handlesOf(genomes), cfg, EvalEngine::perGenomeSeeds(17));
+        ASSERT_EQ(waved.size(), reference.size());
+        for (size_t i = 0; i < reference.size(); ++i) {
+            EXPECT_EQ(waved[i].genomeKey, reference[i].genomeKey);
+            EXPECT_EQ(waved[i].detail.fitness,
+                      reference[i].detail.fitness);
+            EXPECT_EQ(waved[i].detail.inferences,
+                      reference[i].detail.inferences);
+        }
+        // Undersubscribed lanes show up as (truthfully low)
+        // occupancy, not as a crash or a phantom workload.
+        const BatchStats &stats = engine.lastBatchStats();
+        EXPECT_GT(stats.waveLaneSlotSteps, 0);
+        EXPECT_LT(stats.laneOccupancy(), 1.0);
+    }
+}
+
+TEST(EvalEngineTest, CompileFailurePropagatesAsException)
+{
+    // A genome whose plan compile fails validation (no node gene for
+    // its output) must surface as an ordinary exception on the
+    // calling thread — at any thread count and on every execution
+    // path — never as std::terminate from a pool worker or as UB.
+    const auto [cfg, genomes] = makeGenomes(6, 37);
+    neat::Genome bad(97); // no node genes at all
+
+    auto handles = handlesOf(genomes);
+    handles.push_back({97, &bad});
+
+    for (int threads : {1, 4}) {
+        for (const char *mode : {"serial", "batch", "waves"}) {
+            SCOPED_TRACE(std::string(mode) + " threads " +
+                         std::to_string(threads));
+            EvalEngineConfig ecfg;
+            ecfg.envName = "CartPole_v0";
+            ecfg.numThreads = threads;
+            ecfg.episodes = 1;
+            ecfg.batchEpisodes = std::string(mode) != "serial";
+            ecfg.heterogeneousLanes = std::string(mode) == "waves";
+            EvalEngine engine(ecfg);
+            EXPECT_THROW(engine.evaluateGeneration(
+                             handles, cfg,
+                             EvalEngine::perGenomeSeeds(7)),
+                         std::logic_error);
+
+            // The engine survives the failure: a clean batch on the
+            // same instance still evaluates.
+            const auto ok = engine.evaluateGeneration(
+                handlesOf(genomes), cfg,
+                EvalEngine::perGenomeSeeds(7));
+            EXPECT_EQ(ok.size(), genomes.size());
+        }
+    }
+}
+
+TEST(EvalEngineTest, ZeroEpisodeConfigRejected)
+{
+    // Zero (or negative) episodes is a configuration error reported
+    // through the usual assertion channel — constructing the engine
+    // throws instead of dividing by zero in the fitness mean later.
+    for (int episodes : {0, -3}) {
+        EvalEngineConfig ecfg;
+        ecfg.envName = "CartPole_v0";
+        ecfg.numThreads = 2;
+        ecfg.episodes = episodes;
+        EXPECT_THROW(EvalEngine{ecfg}, std::logic_error)
+            << "episodes=" << episodes;
+    }
+}
+
 // --- trace window (satellite fix) -------------------------------------------
 
 TEST(PopulationTraceWindowTest, WindowEnforcedEveryStep)
