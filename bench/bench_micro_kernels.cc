@@ -10,12 +10,15 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "core/workloads.hh"
 #include "env/runner.hh"
+#include "exec/eval_engine.hh"
 #include "hw/eve_pe.hh"
 #include "hw/gene_split.hh"
 #include "nn/compiled_plan.hh"
 #include "nn/levelize.hh"
 #include "nn/recurrent.hh"
+#include "obs/telemetry.hh"
 
 using namespace genesys;
 using namespace genesys::neat;
@@ -1067,5 +1070,98 @@ BM_EvePeChild(benchmark::State &state)
         static_cast<int64_t>(stream.size()));
 }
 BENCHMARK(BM_EvePeChild);
+
+// --- telemetry overhead ------------------------------------------------------
+// The null-sink contract, measured: the Off/On pair drives one full
+// CartPole generation (64 genomes, wave scheduler, 1 thread) through
+// exec::EvalEngine with no telemetry session vs. a full trace +
+// metrics session. Fitness bits are asserted identical before either
+// is timed; the items_per_second ratio is the telemetry tax on the
+// batched evaluation path (acceptance: < 2%).
+
+namespace
+{
+
+std::vector<double>
+telemetryBenchGeneration(exec::EvalEngine &engine,
+                         const neat::Population &pop,
+                         const NeatConfig &cfg)
+{
+    std::vector<neat::GenomeHandle> batch;
+    batch.reserve(pop.genomes().size());
+    for (const auto &[gk, g] : pop.genomes())
+        batch.push_back({gk, &g});
+    const auto results = engine.evaluateGeneration(
+        batch, cfg, exec::EvalEngine::sharedEpisodeSeeds(0xBEEF));
+    std::vector<double> fits;
+    fits.reserve(results.size());
+    for (const auto &r : results)
+        fits.push_back(r.detail.fitness);
+    return fits;
+}
+
+void
+telemetryOverheadBench(benchmark::State &state, bool telemetry)
+{
+    NeatConfig ncfg =
+        core::neatConfigFor(core::workload("CartPole_v0"));
+    ncfg.populationSize = 64;
+    neat::Population pop(ncfg, 42);
+
+    exec::EvalEngineConfig ecfg;
+    ecfg.envName = "CartPole_v0";
+    ecfg.numThreads = 1;
+    ecfg.episodes = 1;
+    ecfg.batchEpisodes = true;
+    // Pin the wave scheduler explicitly: EvalEngine does not read
+    // GENESYS_EVAL_MODE itself, so both halves of the pair measure
+    // the same (hottest) execution path regardless of environment.
+    ecfg.heterogeneousLanes = true;
+
+    // Bit-identity gate before any timing: the no-session baseline
+    // fitness must match what the session-enabled engine produces.
+    std::vector<double> baseline;
+    {
+        exec::EvalEngine engine(ecfg);
+        baseline = telemetryBenchGeneration(engine, pop, ncfg);
+    }
+
+    obs::TelemetryConfig tcfg;
+    tcfg.trace = telemetry;
+    tcfg.metrics = telemetry;
+    tcfg.dir = "/tmp/genesys-bench-telemetry";
+    obs::Telemetry session(tcfg);
+
+    exec::EvalEngine engine(ecfg);
+    GENESYS_ASSERT(telemetryBenchGeneration(engine, pop, ncfg) ==
+                       baseline,
+                   "telemetry session changed fitness bits");
+
+    for (auto _ : state) {
+        const auto fits =
+            telemetryBenchGeneration(engine, pop, ncfg);
+        benchmark::DoNotOptimize(&fits);
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(ncfg.populationSize)); // genomes/s
+}
+
+} // namespace
+
+static void
+BM_TelemetryOverheadOff(benchmark::State &state)
+{
+    telemetryOverheadBench(state, false);
+}
+BENCHMARK(BM_TelemetryOverheadOff);
+
+static void
+BM_TelemetryOverheadOn(benchmark::State &state)
+{
+    telemetryOverheadBench(state, true);
+}
+BENCHMARK(BM_TelemetryOverheadOn);
 
 BENCHMARK_MAIN();

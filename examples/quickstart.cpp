@@ -49,6 +49,54 @@ main(int argc, char **argv)
               << "  generations: " << summary.generations
               << "  best fitness: " << summary.bestFitness << "\n";
 
+    // Phase breakdown: mean wall-clock per generation, plus the
+    // measured generation-barrier idle fraction (worker-seconds the
+    // evaluation lanes spent outside evaluation bodies).
+    if (!sys.reports().empty()) {
+        core::PhaseBreakdown mean;
+        double occupancy = 0.0;
+        int occupancy_gens = 0;
+        for (const auto &r : sys.reports()) {
+            mean.evaluateSeconds += r.phases.evaluateSeconds;
+            mean.reproduceSeconds += r.phases.reproduceSeconds;
+            mean.speciateSeconds += r.phases.speciateSeconds;
+            mean.reportSeconds += r.phases.reportSeconds;
+            mean.wallSeconds += r.phases.wallSeconds;
+            mean.planCompileCpuSeconds +=
+                r.phases.planCompileCpuSeconds;
+            mean.barrierIdleFraction += r.phases.barrierIdleFraction;
+            if (r.waveStatsValid) {
+                occupancy += r.batches.laneOccupancy();
+                ++occupancy_gens;
+            }
+        }
+        const double n = static_cast<double>(sys.reports().size());
+        std::cout << "phase breakdown (mean ms/gen): evaluate "
+                  << mean.evaluateSeconds * 1e3 / n << "  reproduce "
+                  << mean.reproduceSeconds * 1e3 / n << "  speciate "
+                  << mean.speciateSeconds * 1e3 / n << "  report "
+                  << mean.reportSeconds * 1e3 / n << "  wall "
+                  << mean.wallSeconds * 1e3 / n
+                  << "  plan-compile (cpu) "
+                  << mean.planCompileCpuSeconds * 1e3 / n << "\n";
+        std::cout << "barrier idle fraction (mean over "
+                  << sys.evalEngine().numThreads()
+                  << " workers): " << mean.barrierIdleFraction / n
+                  << "\n";
+        if (occupancy_gens > 0)
+            std::cout << "wave lane occupancy (mean): "
+                      << occupancy /
+                             static_cast<double>(occupancy_gens)
+                      << " over " << occupancy_gens
+                      << " wave-scheduled generations\n";
+        else
+            std::cout << "wave lane occupancy: n/a (wave scheduler "
+                         "not active in this mode)\n";
+    }
+    if (sys.telemetry().installed())
+        std::cout << "telemetry written to "
+                  << sys.telemetry().config().dir << "/\n";
+
     const auto replay = sys.replayBest(1234);
     std::cout << "replay of best genome: " << replay.steps
               << " balanced steps (fitness " << replay.fitness << ")\n";

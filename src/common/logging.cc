@@ -1,20 +1,80 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace genesys
 {
 
+namespace
+{
+
+/**
+ * The process level, initialized lazily from GENESYS_LOG_LEVEL so CI
+ * and benches can silence inform()/warn() chatter without code
+ * changes. -1 = not yet initialized.
+ */
+std::atomic<int> currentLevel{-1};
+
+int
+resolveLevel()
+{
+    int level = currentLevel.load(std::memory_order_relaxed);
+    if (level >= 0)
+        return level;
+    int fromEnv = static_cast<int>(LogLevel::Info);
+    const char *v = std::getenv("GENESYS_LOG_LEVEL");
+    if (v != nullptr && *v != '\0')
+        fromEnv = static_cast<int>(parseLogLevel(v));
+    // First resolver wins; a concurrent setLogLevel still overwrites.
+    currentLevel.compare_exchange_strong(level, fromEnv,
+                                         std::memory_order_relaxed);
+    return currentLevel.load(std::memory_order_relaxed);
+}
+
+} // namespace
+
+LogLevel
+parseLogLevel(const std::string &name)
+{
+    if (name == "quiet")
+        return LogLevel::Quiet;
+    if (name == "warn")
+        return LogLevel::Warn;
+    if (name == "info")
+        return LogLevel::Info;
+    fatal("unknown log level \"" + name +
+          "\" (expected quiet, warn or info)");
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    currentLevel.store(static_cast<int>(level),
+                       std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(resolveLevel());
+}
+
 void
 inform(const std::string &msg)
 {
+    if (resolveLevel() < static_cast<int>(LogLevel::Info))
+        return;
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 void
 warn(const std::string &msg)
 {
+    if (resolveLevel() < static_cast<int>(LogLevel::Warn))
+        return;
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 

@@ -15,10 +15,38 @@
 namespace genesys
 {
 
-/** Print an informational message to stderr. */
+/**
+ * Verbosity of the non-fatal channels. fatal()/panic() always print —
+ * the level only gates chatter, never errors.
+ */
+enum class LogLevel
+{
+    Quiet = 0, ///< suppress inform() and warn()
+    Warn = 1,  ///< suppress inform() only
+    Info = 2,  ///< print everything (the default)
+};
+
+/**
+ * Parse a level name ("quiet", "warn", "info"); anything else is a
+ * fatal configuration error.
+ */
+LogLevel parseLogLevel(const std::string &name);
+
+/**
+ * Set the process log level. The initial level comes from
+ * GENESYS_LOG_LEVEL (quiet/warn/info, read once on first log call);
+ * this setter overrides it — benches and tests silence chatter
+ * without touching the environment.
+ */
+void setLogLevel(LogLevel level);
+
+/** The current log level. */
+LogLevel logLevel();
+
+/** Print an informational message to stderr (level >= info). */
 void inform(const std::string &msg);
 
-/** Print a warning to stderr. */
+/** Print a warning to stderr (level >= warn). */
 void warn(const std::string &msg);
 
 /** User-caused unrecoverable error: print and throw std::runtime_error. */

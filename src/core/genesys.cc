@@ -1,10 +1,28 @@
 #include "core/genesys.hh"
 
+#include <algorithm>
+#include <chrono>
+
 #include "common/logging.hh"
 #include "nn/compiled_plan.hh"
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
 
 namespace genesys::core
 {
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // namespace
 
 System::System(SystemConfig cfg)
     : cfg_(std::move(cfg)), spec_(workload(cfg_.envName)),
@@ -18,6 +36,20 @@ System::System(SystemConfig cfg)
         spec_.episodes = cfg_.episodesPerEval;
     if (cfg_.tweakNeat)
         cfg_.tweakNeat(neatCfg_);
+
+    // Resolve GENESYS_LOG_LEVEL now: a bad value is a user error and
+    // should fatal here, not from whichever later inform()/warn()
+    // call happens to read it first (possibly inside a destructor,
+    // where the throw would terminate instead).
+    logLevel();
+
+    // Telemetry session first, so the sinks are installed before any
+    // pool worker spawns (workers name their timeline rows on their
+    // first drain). GENESYS_TRACE / GENESYS_METRICS override the
+    // config the same way GENESYS_EVAL_MODE does below.
+    obs::applyTelemetryFromEnv(cfg_.telemetry);
+    telemetry_ = std::make_unique<obs::Telemetry>(cfg_.telemetry);
+
     population_ = std::make_unique<neat::Population>(neatCfg_, cfg_.seed);
 
     // Batched evaluation engine: one private environment instance per
@@ -47,6 +79,10 @@ System::stepGeneration()
 
     const int gen = population_->generation();
     GenerationReport report;
+    const auto wall0 = Clock::now();
+    const uint64_t busy0 = engine_->workerBusyNs();
+    const long compile_ns0 = engine_->planCache().compileNs();
+    obs::Span gen_span("generation", "phase", gen);
 
     // Inference phase: every genome runs its episodes (steps 1-6 of
     // the walkthrough), fanned out across the engine's workers as one
@@ -70,9 +106,12 @@ System::stepGeneration()
 
     auto batch_fitness =
         [&](const std::vector<neat::GenomeHandle> &batch) {
+            const auto e0 = Clock::now();
+            obs::Span span("evaluate", "phase", gen);
             const auto results =
                 engine_->evaluateGeneration(batch, neatCfg_, seed_for);
             batch_stats = engine_->lastBatchStats();
+            report.phases.evaluateSeconds = secondsSince(e0);
 
             std::vector<double> fits;
             fits.reserve(results.size());
@@ -122,6 +161,8 @@ System::stepGeneration()
         sparse_cells / static_cast<double>(pop_size);
 
     if (cfg_.simulateHardware) {
+        const auto h0 = Clock::now();
+        obs::Span span("report", "phase", gen);
         // Evolution trace that bred the *next* generation (empty when
         // solved on this one). The report's op counters are aligned
         // to the same trace so runtime and op columns agree.
@@ -135,7 +176,61 @@ System::stepGeneration()
         report.algo.maxParentReuse = trace.maxParentReuse();
         report.hw = soc_.simulateGeneration(trace, inference_work,
                                             report.algo.memoryBytes);
+        report.phases.reportSeconds = secondsSince(h0);
     }
+
+    // Phase breakdown: the serial barrier phases come from the
+    // population (measured inside stepBatch); the barrier-idle
+    // fraction differences the pool's busy-time over the generation's
+    // worker-seconds. All always-on, telemetry or not.
+    const neat::StepPhaseTimes &pp = population_->lastStepPhases();
+    report.phases.reproduceSeconds = pp.reproduceSeconds;
+    report.phases.speciateSeconds = pp.speciateSeconds;
+    report.phases.wallSeconds = secondsSince(wall0);
+    report.phases.planCompileCpuSeconds =
+        static_cast<double>(engine_->planCache().compileNs() -
+                            compile_ns0) *
+        1e-9;
+    const double worker_seconds =
+        report.phases.wallSeconds *
+        static_cast<double>(engine_->numThreads());
+    if (worker_seconds > 0.0) {
+        const double busy_seconds =
+            static_cast<double>(engine_->workerBusyNs() - busy0) *
+            1e-9;
+        report.phases.barrierIdleFraction = std::clamp(
+            1.0 - busy_seconds / worker_seconds, 0.0, 1.0);
+    }
+    report.waveStatsValid = engine_->usesHeterogeneousWaves();
+
+    if (auto *reg = obs::MetricsRegistry::active()) {
+        reg->counter("generations").add(1);
+        reg->gauge("phase.evaluate_seconds")
+            .set(report.phases.evaluateSeconds);
+        reg->gauge("phase.reproduce_seconds")
+            .set(report.phases.reproduceSeconds);
+        reg->gauge("phase.speciate_seconds")
+            .set(report.phases.speciateSeconds);
+        reg->gauge("phase.report_seconds")
+            .set(report.phases.reportSeconds);
+        reg->gauge("phase.wall_seconds")
+            .set(report.phases.wallSeconds);
+        reg->gauge("plan.compile_cpu_seconds")
+            .set(report.phases.planCompileCpuSeconds);
+        reg->gauge("pool.barrier_idle_fraction")
+            .set(report.phases.barrierIdleFraction);
+        reg->gauge("fitness.best").set(report.algo.bestFitness);
+        reg->gauge("fitness.mean").set(report.algo.meanFitness);
+    }
+    if (telemetry_->installed()) {
+        // Satellite: the reproduction trace that bred the next
+        // generation rides the same run directory as a JSONL stream.
+        if (!done && !population_->traces().empty())
+            telemetry_->writeEvolutionTrace(
+                population_->traces().back());
+        telemetry_->endGeneration(gen);
+    }
+
     reports_.push_back(std::move(report));
     return done;
 }
@@ -166,6 +261,7 @@ env::EpisodeResult
 System::replayBest(uint64_t seed)
 {
     GENESYS_ASSERT(population_->hasBest(), "no best genome yet");
+    obs::Span span("replay_best", "phase");
     // compileFor: recurrent configs replay through a recurrent plan.
     const auto plan = nn::CompiledPlan::compileFor(
         population_->bestGenome(), neatCfg_);

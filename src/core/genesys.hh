@@ -18,6 +18,7 @@
 #include "exec/eval_engine.hh"
 #include "hw/soc.hh"
 #include "neat/population.hh"
+#include "obs/telemetry.hh"
 
 namespace genesys::core
 {
@@ -62,8 +63,54 @@ struct SystemConfig
     bool simulateHardware = true;
     hw::SocParams soc{};
     hw::EnergyParams energy{};
+    /**
+     * Telemetry: span tracing + metrics registry, written to one run
+     * directory (see obs::TelemetryConfig). Off by default — the
+     * null sink costs one predicted branch per instrumentation site
+     * and is side-effect-free on results either way: golden digests
+     * are bit-identical with telemetry on and off. The GENESYS_TRACE
+     * / GENESYS_METRICS / GENESYS_TELEMETRY_DIR environment
+     * variables override these fields (same idiom as
+     * GENESYS_EVAL_MODE).
+     */
+    obs::TelemetryConfig telemetry{};
     /** Optional NEAT overrides applied after the workload defaults. */
     std::function<void(neat::NeatConfig &)> tweakNeat;
+};
+
+/**
+ * Wall-clock breakdown of one closed-loop generation. Always
+ * measured (a handful of steady_clock reads per generation — far
+ * from any hot path), independent of whether telemetry sinks are
+ * installed. The timing fields are intentionally NOT folded into the
+ * golden digests: they are host-machine noise, not algorithm state.
+ */
+struct PhaseBreakdown
+{
+    /** Batched fitness evaluation (exec::EvalEngine). */
+    double evaluateSeconds = 0.0;
+    /** Breeding the next generation (serial barrier phase). */
+    double reproduceSeconds = 0.0;
+    /** Re-speciating the bred population (serial barrier phase). */
+    double speciateSeconds = 0.0;
+    /** Workload accounting + SoC simulation. */
+    double reportSeconds = 0.0;
+    /** Whole stepGeneration() call. */
+    double wallSeconds = 0.0;
+    /**
+     * CPU seconds spent compiling plans this generation, summed
+     * across workers (can exceed wallSeconds on many threads).
+     */
+    double planCompileCpuSeconds = 0.0;
+    /**
+     * Fraction of the generation's worker-seconds the evaluation
+     * lanes spent *outside* evaluation bodies — the measured
+     * generation-barrier idle cost (ROADMAP item 1 baseline):
+     * 1 - busyNsDelta / (wallSeconds * numThreads), clamped to
+     * [0, 1]. Near 0 means evaluation dominates; it grows as the
+     * serial reproduce/speciate/report phases eat the generation.
+     */
+    double barrierIdleFraction = 0.0;
 };
 
 /** Per-generation record: algorithm stats + hardware stats. */
@@ -86,6 +133,16 @@ struct GenerationReport
      * (occupancy + BSP lockstep supersteps per wave).
      */
     exec::BatchStats batches;
+    /**
+     * True iff the generation ran through the plan-heterogeneous
+     * wave scheduler, i.e. the wave* counters in `batches` (and
+     * laneOccupancy()) are live measurements. In serial and
+     * per-genome-batch modes those counters are silently zero — this
+     * flag distinguishes "measured zero" from "path not taken".
+     */
+    bool waveStatsValid = false;
+    /** Phase wall-clock breakdown of this generation. */
+    PhaseBreakdown phases;
 };
 
 /** Whole-run outcome. */
@@ -126,6 +183,8 @@ class System
     const hw::GenesysSoc &socModel() const { return soc_; }
     const SystemConfig &config() const { return cfg_; }
     const exec::EvalEngine &evalEngine() const { return *engine_; }
+    /** The run's telemetry session (disabled unless configured). */
+    const obs::Telemetry &telemetry() const { return *telemetry_; }
 
     /** Replay the current best genome; returns its episode fitness. */
     env::EpisodeResult replayBest(uint64_t seed);
@@ -134,6 +193,13 @@ class System
     SystemConfig cfg_;
     WorkloadSpec spec_;
     neat::NeatConfig neatCfg_;
+    /**
+     * Declared before engine_ on purpose: members destroy in reverse
+     * order, so the engine (which joins its pool threads) goes away
+     * first and no worker can race the telemetry sinks being
+     * uninstalled and flushed.
+     */
+    std::unique_ptr<obs::Telemetry> telemetry_;
     std::unique_ptr<env::Environment> env_;
     std::unique_ptr<neat::Population> population_;
     std::unique_ptr<exec::EvalEngine> engine_;

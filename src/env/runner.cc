@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/tracer.hh"
+
 #include "env/acrobot.hh"
 #include "env/atari_ram.hh"
 #include "env/bipedal.hh"
@@ -425,6 +427,9 @@ evaluateWave(const std::vector<WaveItem> &items,
             if (next < items.size()) {
                 fillLane(l);
                 ++out.stats.refills;
+                // Timeline marker: a lane turned over mid-wave — the
+                // scheduler event that keeps occupancy near 1.
+                obs::traceInstant("wave.refill", "wave");
             } else {
                 scratch.item[l] = -1;
                 --live;

@@ -7,6 +7,8 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
 
 namespace genesys::exec
 {
@@ -202,6 +204,8 @@ EvalEngine::evaluateGeneration(const std::vector<neat::GenomeHandle> &batch,
                                const SeedFn &seedFor)
 {
     std::vector<GenomeEvalResult> results(batch.size());
+    obs::Span batch_span("eval.batch", "evaluate",
+                         static_cast<int64_t>(batch.size()));
 
     // New generation: keep plans for keys that survived (elites are
     // copied unchanged under the same key — the paper's "genome stays
@@ -238,6 +242,7 @@ EvalEngine::evaluateGeneration(const std::vector<neat::GenomeHandle> &batch,
         runParallel(
             batch.size(), [&](std::size_t i, int worker) {
                 const neat::GenomeHandle &h = batch[i];
+                obs::Span span("eval.genome", "evaluate", h.key);
                 std::vector<uint64_t> seeds(
                     static_cast<std::size_t>(cfg_.episodes));
                 for (int e = 0; e < cfg_.episodes; ++e)
@@ -283,7 +288,59 @@ EvalEngine::evaluateGeneration(const std::vector<neat::GenomeHandle> &batch,
         }
         lastBatch_.waves.push_back(wave);
     }
+
+    publishMetrics(results);
     return results;
+}
+
+void
+EvalEngine::publishMetrics(const std::vector<GenomeEvalResult> &results)
+{
+    obs::MetricsRegistry *m = obs::MetricsRegistry::active();
+    if (m == nullptr)
+        return;
+
+    // Batch totals + the wave scheduler's occupancy counters — the
+    // registry form of BatchStats, so downstream consumers read one
+    // metrics surface instead of plumbing engine structs around.
+    m->counter("eval.genomes").add(static_cast<long>(results.size()));
+    m->counter("eval.inferences").add(lastBatch_.totalInferences());
+    m->counter("eval.supersteps").add(lastBatch_.lockstepSteps());
+    m->counter("wave.supersteps").add(lastBatch_.waveSupersteps);
+    m->counter("wave.lane_slot_steps").add(lastBatch_.waveLaneSlotSteps);
+    m->counter("wave.active_lane_steps")
+        .add(lastBatch_.waveActiveLaneSteps);
+    m->counter("wave.refills").add(lastBatch_.waveRefills);
+    m->counter("wave.grouped_lane_activations")
+        .add(lastBatch_.waveGroupedLaneActivations);
+    m->gauge("wave.lane_occupancy").set(lastBatch_.laneOccupancy());
+
+    // Plan-cache lifetime counters, differenced so the registry's
+    // counters track per-run increments exactly.
+    const long compiles = planCache_.compiles();
+    const long hits = planCache_.hits();
+    const long carried = planCache_.carriedOver();
+    const long races = planCache_.racesDiscarded();
+    const long compile_ns = planCache_.compileNs();
+    m->counter("plan.compiles").add(compiles - seenCompiles_);
+    m->counter("plan.cache_hits").add(hits - seenHits_);
+    m->counter("plan.carried_over").add(carried - seenCarriedOver_);
+    m->counter("plan.races_discarded").add(races - seenRaces_);
+    m->counter("plan.compile_ns").add(compile_ns - seenCompileNs_);
+    seenCompiles_ = compiles;
+    seenHits_ = hits;
+    seenCarriedOver_ = carried;
+    seenRaces_ = races;
+    seenCompileNs_ = compile_ns;
+
+    long episodes = 0;
+    auto &steps_histo = m->histogram("eval.episode_steps");
+    for (const GenomeEvalResult &r : results) {
+        episodes += static_cast<long>(r.detail.episodes.size());
+        for (const env::EpisodeResult &e : r.detail.episodes)
+            steps_histo.observe(static_cast<double>(e.steps));
+    }
+    m->counter("eval.episodes").add(episodes);
 }
 
 void
@@ -338,6 +395,8 @@ EvalEngine::evaluateWaves(const std::vector<neat::GenomeHandle> &batch,
             std::min(batch.size(), lo + per);
         if (lo >= hi)
             return;
+        obs::Span span("eval.wave_chunk", "evaluate",
+                       static_cast<int64_t>(hi - lo));
         // Items ordered by (genome, episode): a genome's episodes are
         // adjacent, so at episodes > 1 same-plan lanes pack next to
         // each other and group into one batched dispatch.

@@ -235,6 +235,14 @@ class EvalEngine
     const EvalEngineConfig &config() const { return cfg_; }
 
     /**
+     * Aggregate nanoseconds the pool's workers (caller included)
+     * spent inside evaluation bodies — see ThreadPool::busyNs().
+     * core::System differences this across a generation to compute
+     * the barrier-idle fraction.
+     */
+    uint64_t workerBusyNs() const { return pool_.busyNs(); }
+
+    /**
      * Does this engine route generations through the plan-
      * heterogeneous wave scheduler? True iff batching is enabled,
      * `heterogeneousLanes` is set and the config evaluates one
@@ -262,11 +270,26 @@ class EvalEngine
                        const SeedFn &seedFor,
                        std::vector<GenomeEvalResult> &results);
 
+    /**
+     * Publish the batch that just finished into the active
+     * MetricsRegistry (no-op when none is installed): BatchStats
+     * occupancy/superstep counters, plan-cache compile/hit/
+     * carry-over deltas since the last publish, and the episode-step
+     * histogram. Runs once per generation, after the parallel phase.
+     */
+    void publishMetrics(const std::vector<GenomeEvalResult> &results);
+
     EvalEngineConfig cfg_;
     ThreadPool pool_;
     EnvPool envs_;
     BatchStats lastBatch_;
     nn::PlanCache planCache_;
+    /** Plan-cache counter snapshots from the last publishMetrics. */
+    long seenCompiles_ = 0;
+    long seenHits_ = 0;
+    long seenCarriedOver_ = 0;
+    long seenRaces_ = 0;
+    long seenCompileNs_ = 0;
     /**
      * One batched-episode scratch per worker, reused across genomes
      * and generations — the runner side of the episode hot loop

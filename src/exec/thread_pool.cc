@@ -1,9 +1,26 @@
 #include "exec/thread_pool.hh"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/tracer.hh"
 
 namespace genesys::exec
 {
+
+namespace
+{
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
 
 int
 ThreadPool::resolveThreads(int requested)
@@ -50,15 +67,37 @@ ThreadPool::drain(int worker)
 }
 
 void
+ThreadPool::drainTimed(int worker)
+{
+    // Two clock reads per (job, worker) — per job, not per item, so
+    // the accounting never touches the episode hot loop. The span is
+    // the worker-timeline backbone in chrome://tracing; a null
+    // tracer reduces it to one predicted branch.
+    obs::Span span("pool.drain", "pool", worker);
+    const uint64_t t0 = nowNs();
+    drain(worker);
+    busyNs_.fetch_add(nowNs() - t0, std::memory_order_relaxed);
+}
+
+void
 ThreadPool::workerLoop(int worker)
 {
+    // Label this worker's timeline row up front (no-op without an
+    // installed tracer), so even a worker that a short run never
+    // hands an item to shows up named in the trace. The caller
+    // thread keeps whatever name it claimed first ("main" under a
+    // telemetry session).
+    obs::nameThisThread("pool-worker", worker);
     std::size_t last_job = 0;
     for (;;) {
         {
             std::unique_lock<std::mutex> lock(mutex_);
+            const uint64_t w0 = nowNs();
             wake_.wait(lock, [&] {
                 return stopping_ || jobId_ != last_job;
             });
+            waitNs_.fetch_add(nowNs() - w0,
+                              std::memory_order_relaxed);
             if (stopping_)
                 return;
             last_job = jobId_;
@@ -66,7 +105,7 @@ ThreadPool::workerLoop(int worker)
         }
         // A worker that wakes after the job already drained simply
         // claims no items; jobBody_ stays valid until the next post.
-        drain(worker);
+        drainTimed(worker);
         {
             std::lock_guard<std::mutex> lock(mutex_);
             if (--busyWorkers_ == 0)
@@ -82,10 +121,14 @@ ThreadPool::parallelFor(std::size_t count,
     if (count == 0)
         return;
 
-    // Single-threaded pool: run inline, no synchronization at all.
+    // Single-threaded pool: run inline, no synchronization at all
+    // (busy accounting still applies — worker 0 is the caller).
     if (threads_.empty()) {
+        obs::Span span("pool.drain", "pool", 0);
+        const uint64_t t0 = nowNs();
         for (std::size_t i = 0; i < count; ++i)
             body(i, 0);
+        busyNs_.fetch_add(nowNs() - t0, std::memory_order_relaxed);
         return;
     }
 
@@ -105,7 +148,7 @@ ThreadPool::parallelFor(std::size_t count,
     wake_.notify_all();
 
     // The caller participates as worker 0.
-    drain(0);
+    drainTimed(0);
 
     // cursor >= count here, so every item was claimed; wait for the
     // workers still executing their claimed items to finish. (A

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -59,9 +60,34 @@ class ThreadPool
     /** Resolve a requested thread count (0 -> hardware concurrency). */
     static int resolveThreads(int requested);
 
+    /**
+     * Aggregate nanoseconds all workers (the caller included) spent
+     * inside parallelFor bodies, since construction. Accounted per
+     * job per worker — two clock reads around each drain, never
+     * per item — so the accounting itself stays off the hot path.
+     * With the generation wall clock this yields the barrier-idle
+     * fraction: 1 - busyNs / (wall * size()).
+     */
+    uint64_t busyNs() const
+    {
+        return busyNs_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Aggregate nanoseconds spawned workers spent parked between
+     * jobs (condition-variable wait). The caller thread is not
+     * counted — its between-job time is the serial phases.
+     */
+    uint64_t waitNs() const
+    {
+        return waitNs_.load(std::memory_order_relaxed);
+    }
+
   private:
     void workerLoop(int worker);
     void drain(int worker);
+    /** drain() plus busy accounting and a "pool.drain" span. */
+    void drainTimed(int worker);
 
     std::vector<std::thread> threads_;
 
@@ -77,6 +103,9 @@ class ThreadPool
     std::function<void(std::size_t, int)> jobBody_;
     std::atomic<std::size_t> cursor_{0};
     int busyWorkers_ = 0;
+
+    std::atomic<uint64_t> busyNs_{0};
+    std::atomic<uint64_t> waitNs_{0};
 };
 
 } // namespace genesys::exec

@@ -1,9 +1,11 @@
 #include "neat/population.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
 #include "common/logging.hh"
+#include "obs/tracer.hh"
 
 namespace genesys::neat
 {
@@ -64,6 +66,7 @@ Population::step(const FitnessFn &fitness)
 bool
 Population::stepBatch(const BatchFitnessFn &fitness)
 {
+    lastPhases_ = StepPhaseTimes{};
     // Evaluate every genome (on the SoC: steps 1-6 of the
     // walkthrough, leveraging population-level parallelism). The
     // whole unevaluated generation goes to the callback as one
@@ -100,24 +103,44 @@ Population::stepBatch(const BatchFitnessFn &fitness)
     if (stats.bestFitness >= cfg_.fitnessThreshold)
         return true;
 
-    // Breed generation n+1 (steps 7-10: Gene Selector + EvE).
+    using Clock = std::chrono::steady_clock;
+    auto seconds_since = [](Clock::time_point t0) {
+        return std::chrono::duration<double>(Clock::now() - t0)
+            .count();
+    };
+
+    // Breed generation n+1 (steps 7-10: Gene Selector + EvE). This
+    // and speciation below are the serial generation-barrier phases;
+    // their wall-clock lands in lastStepPhases() (and on the span
+    // timeline) so the barrier-idle fraction is a measured number.
     EvolutionTrace trace_out;
-    auto next = reproduction_.reproduce(speciesSet_, population_,
-                                        generation_, rng_, trace_out);
-    if (next.empty()) {
-        if (!cfg_.resetOnExtinction)
-            fatal("complete extinction in generation " +
-                  std::to_string(generation_));
-        warn("complete extinction; restarting population");
-        next = reproduction_.createNewPopulation(rng_);
-        trace_out.children.clear();
+    const auto r0 = Clock::now();
+    {
+        obs::Span span("reproduce", "phase", generation_);
+        auto next = reproduction_.reproduce(speciesSet_, population_,
+                                            generation_, rng_,
+                                            trace_out);
+        if (next.empty()) {
+            if (!cfg_.resetOnExtinction)
+                fatal("complete extinction in generation " +
+                      std::to_string(generation_));
+            warn("complete extinction; restarting population");
+            next = reproduction_.createNewPopulation(rng_);
+            trace_out.children.clear();
+        }
+        population_ = std::move(next);
     }
-    population_ = std::move(next);
+    lastPhases_.reproduceSeconds = seconds_since(r0);
     traces_.push_back(std::move(trace_out));
     trimTraces();
 
     ++generation_;
-    speciesSet_.speciate(population_, generation_);
+    const auto s0 = Clock::now();
+    {
+        obs::Span span("speciate", "phase", generation_);
+        speciesSet_.speciate(population_, generation_);
+    }
+    lastPhases_.speciateSeconds = seconds_since(s0);
     return false;
 }
 

@@ -42,6 +42,21 @@ struct GenerationStats
     int numSpecies = 0;
 };
 
+/**
+ * Wall-clock of the serial evolution phases inside one step() /
+ * stepBatch() call — the generation-barrier work during which the
+ * evaluation lanes idle. Always measured (two steady_clock pairs per
+ * generation, nowhere near a hot path); the span tracer additionally
+ * records the same phases on the timeline when installed.
+ */
+struct StepPhaseTimes
+{
+    /** Breeding the next generation (Gene Selector + EvE). */
+    double reproduceSeconds = 0.0;
+    /** Re-speciating the bred population. */
+    double speciateSeconds = 0.0;
+};
+
 /** Outcome of Population::run(). */
 struct RunResult
 {
@@ -119,6 +134,12 @@ class Population
     /** Evolution traces (one per reproduction event). */
     const std::vector<EvolutionTrace> &traces() const { return traces_; }
 
+    /**
+     * Phase wall-clock of the most recent step()/stepBatch() call
+     * (zeros when the step solved and bred nothing).
+     */
+    const StepPhaseTimes &lastStepPhases() const { return lastPhases_; }
+
     /** Best genome observed so far (valid after the first step). */
     const Genome &bestGenome() const { return bestGenome_; }
     bool hasBest() const { return hasBest_; }
@@ -161,6 +182,7 @@ class Population
     std::vector<GenerationStats> history_;
     std::vector<EvolutionTrace> traces_;
     size_t traceWindow_ = SIZE_MAX;
+    StepPhaseTimes lastPhases_;
 
     Genome bestGenome_;
     bool hasBest_ = false;

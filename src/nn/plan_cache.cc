@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 
 #include "common/logging.hh"
+#include "obs/tracer.hh"
 
 namespace genesys::nn
 {
@@ -90,9 +92,19 @@ PlanCache::acquire(int genomeKey, const neat::Genome &genome,
     // compileFor dispatches on cfg.feedForward, so recurrent genomes
     // lower to recurrent plans under the same cache/carry-over rules.
     thread_local CompileScratch compile_scratch;
-    auto plan = std::make_shared<const CompiledPlan>(
-        CompiledPlan::compileFor(genome, cfg, compile_scratch));
+    const auto c0 = std::chrono::steady_clock::now();
+    std::shared_ptr<const CompiledPlan> plan;
+    {
+        obs::Span span("plan.compile", "compile", genomeKey);
+        plan = std::make_shared<const CompiledPlan>(
+            CompiledPlan::compileFor(genome, cfg, compile_scratch));
+    }
+    const long spent_ns = static_cast<long>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - c0)
+            .count());
     std::lock_guard<std::mutex> lock(mutex_);
+    compileNs_ += spent_ns;
     auto [it, inserted] =
         plans_.emplace(genomeKey, Entry{std::move(plan), fp});
     // Only the winning insert is a compile that exists; a racing
@@ -143,6 +155,13 @@ PlanCache::racesDiscarded() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return racesDiscarded_;
+}
+
+long
+PlanCache::compileNs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return compileNs_;
 }
 
 } // namespace genesys::nn

@@ -79,6 +79,14 @@ class PlanCache
     long carriedOver() const;
     /** Lifetime count of same-key compile races whose result was dropped. */
     long racesDiscarded() const;
+    /**
+     * Aggregate nanoseconds spent compiling plans, summed across all
+     * threads (CPU time, not wall clock — concurrent compiles
+     * overlap). Includes race losers: their compile work was really
+     * spent. Two clock reads per compile (~16 us each), so the
+     * accounting is always on.
+     */
+    long compileNs() const;
 
   private:
     /**
@@ -103,6 +111,7 @@ class PlanCache
     long hits_ = 0;
     long carriedOver_ = 0;
     long racesDiscarded_ = 0;
+    long compileNs_ = 0;
 };
 
 } // namespace genesys::nn

@@ -1,0 +1,179 @@
+#include "obs/metrics.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace genesys::obs
+{
+
+std::atomic<MetricsRegistry *> MetricsRegistry::active_{nullptr};
+
+namespace
+{
+
+/** JSON-safe double: shortest round-trip text, non-finite -> 0. */
+void
+writeJsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v))
+        v = 0.0;
+    std::ostringstream ss;
+    ss << std::setprecision(17) << v;
+    os << ss.str();
+}
+
+void
+writeHistogramJson(std::ostream &os, const RunningStat &s)
+{
+    os << "{\"count\":" << s.count() << ",\"mean\":";
+    writeJsonNumber(os, s.mean());
+    os << ",\"stdev\":";
+    writeJsonNumber(os, s.stdev());
+    os << ",\"min\":";
+    writeJsonNumber(os, s.min());
+    os << ",\"max\":";
+    writeJsonNumber(os, s.max());
+    os << ",\"sum\":";
+    writeJsonNumber(os, s.sum());
+    os << "}";
+}
+
+/** Prometheus metric name: genesys_ prefix, specials to '_'. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "genesys_";
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+} // namespace
+
+void
+MetricsRegistry::install(MetricsRegistry *m)
+{
+    active_.store(m, std::memory_order_release);
+}
+
+void
+MetricsRegistry::checkKind(const std::string &name, Kind kind)
+{
+    auto [it, inserted] = kinds_.emplace(name, kind);
+    GENESYS_ASSERT(it->second == kind,
+                   "metric \"" << name
+                               << "\" registered as two different kinds");
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    checkKind(name, Kind::Counter);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    checkKind(name, Kind::Gauge);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+HistogramMetric &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    checkKind(name, Kind::Histogram);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<HistogramMetric>();
+    return *slot;
+}
+
+void
+MetricsRegistry::writeJsonLine(std::ostream &os, long generation) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "{\"generation\":" << generation << ",\"counters\":{";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        os << (first ? "" : ",") << "\"" << name
+           << "\":" << c->value();
+        first = false;
+    }
+    os << "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, g] : gauges_) {
+        os << (first ? "" : ",") << "\"" << name << "\":";
+        writeJsonNumber(os, g->value());
+        first = false;
+    }
+    os << "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        os << (first ? "" : ",") << "\"" << name << "\":";
+        writeHistogramJson(os, h->snapshot());
+        first = false;
+    }
+    os << "}}\n";
+}
+
+void
+MetricsRegistry::writePrometheus(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, c] : counters_) {
+        const std::string p = promName(name);
+        os << "# TYPE " << p << " counter\n"
+           << p << " " << c->value() << "\n";
+    }
+    for (const auto &[name, g] : gauges_) {
+        const std::string p = promName(name);
+        os << "# TYPE " << p << " gauge\n" << p << " ";
+        writeJsonNumber(os, g->value());
+        os << "\n";
+    }
+    for (const auto &[name, h] : histograms_) {
+        const RunningStat s = h->snapshot();
+        const std::string p = promName(name);
+        os << "# TYPE " << p << " summary\n";
+        os << p << "_count " << s.count() << "\n";
+        os << p << "_sum ";
+        writeJsonNumber(os, s.sum());
+        os << "\n" << p << "_min ";
+        writeJsonNumber(os, s.min());
+        os << "\n" << p << "_max ";
+        writeJsonNumber(os, s.max());
+        os << "\n" << p << "_mean ";
+        writeJsonNumber(os, s.mean());
+        os << "\n";
+    }
+}
+
+std::vector<std::string>
+MetricsRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(kinds_.size());
+    for (const auto &[name, kind] : kinds_)
+        out.push_back(name);
+    return out;
+}
+
+} // namespace genesys::obs

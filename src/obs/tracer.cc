@@ -1,0 +1,230 @@
+#include "obs/tracer.hh"
+
+namespace genesys::obs
+{
+
+std::atomic<Tracer *> Tracer::active_{nullptr};
+
+namespace
+{
+
+/** Monotonic source for Tracer::instanceId_. */
+std::atomic<uint64_t> nextInstanceId{1};
+
+/**
+ * Thread-local cache of (tracer instance, buffer): registration takes
+ * the tracer mutex once per (thread, tracer); every later record is a
+ * plain id compare plus a single-writer vector append. The id — not
+ * the pointer — keys the cache, so a new tracer reusing a dead one's
+ * address can never revive a stale buffer pointer.
+ */
+struct ThreadSlot
+{
+    uint64_t instanceId = 0;
+    void *buffer = nullptr;
+};
+thread_local ThreadSlot tlSlot;
+
+/**
+ * Nanoseconds as fixed-point microseconds ("1234.567") — full
+ * resolution at any run length, immune to the stream's float
+ * precision settings.
+ */
+void
+writeMicros(std::ostream &os, uint64_t ns)
+{
+    os << ns / 1000 << '.';
+    const unsigned frac = static_cast<unsigned>(ns % 1000);
+    os << static_cast<char>('0' + frac / 100)
+       << static_cast<char>('0' + (frac / 10) % 10)
+       << static_cast<char>('0' + frac % 10);
+}
+
+/** JSON string escaping for names that may contain specials. */
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                os << ' ';
+            else
+                os << c;
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+Tracer::Tracer(size_t maxEventsPerThread)
+    : epoch_(std::chrono::steady_clock::now()),
+      maxEventsPerThread_(maxEventsPerThread),
+      instanceId_(nextInstanceId.fetch_add(1, std::memory_order_relaxed))
+{
+}
+
+Tracer::~Tracer()
+{
+    // Defensive: a tracer must not outlive its installation.
+    if (active() == this)
+        install(nullptr);
+}
+
+void
+Tracer::install(Tracer *t)
+{
+    active_.store(t, std::memory_order_release);
+}
+
+Tracer::ThreadBuffer &
+Tracer::buffer()
+{
+    if (tlSlot.instanceId == instanceId_)
+        return *static_cast<ThreadBuffer *>(tlSlot.buffer);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto buf = std::make_unique<ThreadBuffer>();
+    buf->tid = static_cast<uint32_t>(buffers_.size());
+    buf->events.reserve(
+        std::min<size_t>(maxEventsPerThread_, size_t{4} << 10));
+    buffers_.push_back(std::move(buf));
+    tlSlot.instanceId = instanceId_;
+    tlSlot.buffer = buffers_.back().get();
+    return *buffers_.back();
+}
+
+void
+Tracer::push(const TraceEvent &ev)
+{
+    ThreadBuffer &buf = buffer();
+    if (buf.events.size() >= maxEventsPerThread_) {
+        ++buf.dropped;
+        return;
+    }
+    buf.events.push_back(ev);
+}
+
+void
+Tracer::complete(const char *name, const char *cat, uint64_t startNs,
+                 uint64_t durNs)
+{
+    TraceEvent ev;
+    ev.name = name;
+    ev.cat = cat;
+    ev.startNs = startNs;
+    ev.durNs = durNs;
+    ev.phase = 'X';
+    push(ev);
+}
+
+void
+Tracer::complete(const char *name, const char *cat, uint64_t startNs,
+                 uint64_t durNs, int64_t arg)
+{
+    TraceEvent ev;
+    ev.name = name;
+    ev.cat = cat;
+    ev.startNs = startNs;
+    ev.durNs = durNs;
+    ev.arg = arg;
+    ev.hasArg = true;
+    ev.phase = 'X';
+    push(ev);
+}
+
+void
+Tracer::instant(const char *name, const char *cat)
+{
+    TraceEvent ev;
+    ev.name = name;
+    ev.cat = cat;
+    ev.startNs = nowNs();
+    ev.phase = 'i';
+    push(ev);
+}
+
+void
+Tracer::nameCurrentThread(const char *prefix, int index)
+{
+    ThreadBuffer &buf = buffer();
+    if (!buf.name.empty())
+        return;
+    buf.name = prefix;
+    if (index >= 0)
+        buf.name += "-" + std::to_string(index);
+}
+
+size_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t n = 0;
+    for (const auto &b : buffers_)
+        n += b->events.size();
+    return n;
+}
+
+size_t
+Tracer::droppedEvents() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t n = 0;
+    for (const auto &b : buffers_)
+        n += b->dropped;
+    return n;
+}
+
+void
+Tracer::writeChromeTrace(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+    };
+    for (const auto &b : buffers_) {
+        // Thread-name metadata event, so Perfetto labels the
+        // timeline "main" / "pool-worker-N" instead of a bare id.
+        if (!b->name.empty()) {
+            sep();
+            os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":"
+               << b->tid << ",\"args\":{\"name\":";
+            writeJsonString(os, b->name);
+            os << "}}";
+        }
+        for (const TraceEvent &ev : b->events) {
+            sep();
+            os << "{\"name\":";
+            writeJsonString(os, ev.name);
+            os << ",\"cat\":";
+            writeJsonString(os, ev.cat ? ev.cat : "default");
+            os << ",\"ph\":\"" << ev.phase << "\",\"pid\":1,\"tid\":"
+               << b->tid << ",\"ts\":";
+            writeMicros(os, ev.startNs);
+            if (ev.phase == 'X') {
+                os << ",\"dur\":";
+                writeMicros(os, ev.durNs);
+            }
+            if (ev.phase == 'i')
+                os << ",\"s\":\"t\"";
+            if (ev.hasArg)
+                os << ",\"args\":{\"v\":" << ev.arg << "}";
+            os << "}";
+        }
+    }
+    os << "\n]}\n";
+}
+
+} // namespace genesys::obs

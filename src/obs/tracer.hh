@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Low-overhead span tracer: RAII obs::Span scopes record (name,
+ * category, thread, start, duration) into per-thread buffers owned by
+ * an installed obs::Tracer, flushed to Chrome trace-event JSON
+ * (chrome://tracing / Perfetto "Open trace file") at run end.
+ *
+ * The default state is the null sink: no Tracer installed. Every
+ * recording entry point first loads one global pointer; when it is
+ * null, a Span constructor/destructor pair does no allocation, takes
+ * no lock and reads no clock — tracing disabled is a single
+ * well-predicted branch on the hot path. Recording is wait-free per
+ * thread once registered: each thread appends to its own buffer
+ * (single writer), so worker timelines never contend. Buffers are
+ * bounded (events beyond the cap are counted as dropped, never
+ * reallocated unboundedly), and names/categories must be string
+ * literals (the tracer stores the pointers, not copies).
+ *
+ * Tracing is side-effect-free on results by construction: it touches
+ * no RNG, no fitness math and no scheduling decision — golden digests
+ * are bit-identical with tracing on and off.
+ */
+
+#ifndef GENESYS_OBS_TRACER_HH
+#define GENESYS_OBS_TRACER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace genesys::obs
+{
+
+/** One recorded trace event (complete span or instant). */
+struct TraceEvent
+{
+    /** Static string: the tracer stores the pointer, not a copy. */
+    const char *name = nullptr;
+    const char *cat = nullptr;
+    /** Nanoseconds since the tracer's epoch. */
+    uint64_t startNs = 0;
+    /** Span duration (0 for instants). */
+    uint64_t durNs = 0;
+    /** Optional small integer payload (genome key, worker, ...). */
+    int64_t arg = 0;
+    bool hasArg = false;
+    /** Chrome phase: 'X' complete event, 'i' instant event. */
+    char phase = 'X';
+};
+
+/**
+ * The span/instant sink. At most one Tracer is installed (globally
+ * visible to Span) at a time; writeChromeTrace must only run while no
+ * thread is concurrently recording (e.g. after the evaluation pool
+ * has joined or gone idle).
+ */
+class Tracer
+{
+  public:
+    /** @param maxEventsPerThread cap per thread buffer; extra events
+     *         are dropped (and counted), never grown past the cap. */
+    explicit Tracer(size_t maxEventsPerThread = size_t{1} << 20);
+    ~Tracer();
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** The installed tracer, or null (the zero-cost default). */
+    static Tracer *
+    active()
+    {
+        return active_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Install `t` as the global tracer (null uninstalls). The caller
+     * owns the lifetime: uninstall before destroying, while no thread
+     * is inside a live Span of this tracer.
+     */
+    static void install(Tracer *t);
+
+    /** Nanoseconds since this tracer's construction. */
+    uint64_t
+    nowNs() const
+    {
+        return static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - epoch_)
+                .count());
+    }
+
+    /** Record a complete span on the calling thread's buffer. */
+    void complete(const char *name, const char *cat, uint64_t startNs,
+                  uint64_t durNs);
+    void complete(const char *name, const char *cat, uint64_t startNs,
+                  uint64_t durNs, int64_t arg);
+
+    /** Record an instant event (a point in time, e.g. a lane refill). */
+    void instant(const char *name, const char *cat);
+
+    /**
+     * Name the calling thread's timeline ("main", "pool-worker-3").
+     * First caller wins; later calls are no-ops, so per-job naming
+     * from worker loops stays idempotent and cheap.
+     */
+    void nameCurrentThread(const char *prefix, int index = -1);
+
+    /** Events currently buffered across all threads. */
+    size_t eventCount() const;
+    /** Events dropped because a thread buffer hit its cap. */
+    size_t droppedEvents() const;
+
+    /**
+     * Write the whole buffer as Chrome trace-event JSON (an object
+     * with a "traceEvents" array — loadable by chrome://tracing and
+     * Perfetto). Timestamps are microseconds since the tracer epoch.
+     */
+    void writeChromeTrace(std::ostream &os) const;
+
+  private:
+    struct ThreadBuffer
+    {
+        uint32_t tid = 0;
+        std::string name;
+        std::vector<TraceEvent> events;
+        size_t dropped = 0;
+    };
+
+    /** The calling thread's buffer, registering it on first use. */
+    ThreadBuffer &buffer();
+
+    void push(const TraceEvent &ev);
+
+    static std::atomic<Tracer *> active_;
+
+    std::chrono::steady_clock::time_point epoch_;
+    size_t maxEventsPerThread_;
+    /** Monotonic instance id backing the thread-local buffer cache. */
+    uint64_t instanceId_;
+
+    mutable std::mutex mutex_;
+    /** unique_ptr elements: growth never moves a registered buffer. */
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/**
+ * RAII span: records a complete event over its lifetime when a tracer
+ * is installed; a branch on one pointer otherwise — no clock reads,
+ * no allocation, nothing stored but the null pointer.
+ */
+class Span
+{
+  public:
+    Span(const char *name, const char *cat)
+        : tracer_(Tracer::active())
+    {
+        if (tracer_) {
+            name_ = name;
+            cat_ = cat;
+            start_ = tracer_->nowNs();
+        }
+    }
+
+    Span(const char *name, const char *cat, int64_t arg)
+        : Span(name, cat)
+    {
+        if (tracer_) {
+            arg_ = arg;
+            hasArg_ = true;
+        }
+    }
+
+    ~Span()
+    {
+        if (tracer_) {
+            const uint64_t dur = tracer_->nowNs() - start_;
+            if (hasArg_)
+                tracer_->complete(name_, cat_, start_, dur, arg_);
+            else
+                tracer_->complete(name_, cat_, start_, dur);
+        }
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    Tracer *tracer_;
+    const char *name_ = nullptr;
+    const char *cat_ = nullptr;
+    uint64_t start_ = 0;
+    int64_t arg_ = 0;
+    bool hasArg_ = false;
+};
+
+/** Record an instant event iff a tracer is installed. */
+inline void
+traceInstant(const char *name, const char *cat)
+{
+    if (Tracer *t = Tracer::active())
+        t->instant(name, cat);
+}
+
+/** Name the calling thread's timeline iff a tracer is installed. */
+inline void
+nameThisThread(const char *prefix, int index = -1)
+{
+    if (Tracer *t = Tracer::active())
+        t->nameCurrentThread(prefix, index);
+}
+
+} // namespace genesys::obs
+
+#endif // GENESYS_OBS_TRACER_HH
