@@ -4,9 +4,18 @@
  * loop — NEAT population, environment instances, and the SoC
  * hardware model — in ~20 lines of user code.
  *
- * Build & run:  ./build/examples/quickstart [seed]
+ * Build & run:  ./build/examples/quickstart [seed] [maxGenerations] [resumeSnapshot]
+ *
+ * Set GENESYS_CHECKPOINT_DIR to write a persist:: snapshot at every
+ * generation barrier; pass a snapshot path as the third argument to
+ * resume it in a fresh process. A resumed run is bit-identical to the
+ * uninterrupted one — the per-generation "digest gen" lines printed
+ * below let CI diff the two.
  */
 
+#include <bit>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 
@@ -20,13 +29,16 @@ main(int argc, char **argv)
 
     core::SystemConfig cfg;
     cfg.envName = "CartPole_v0";
-    cfg.maxGenerations = 40;
+    cfg.maxGenerations =
+        argc > 2 ? std::atoi(argv[2]) : 40;
     cfg.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
     // Evaluate each generation on all hardware threads; fitness is
     // bit-identical to a serial (numThreads = 1) run.
     cfg.numThreads = 0;
 
     core::System sys(cfg);
+    if (argc > 3)
+        sys.resumeFrom(argv[3]);
     core::RunSummary summary = sys.run();
 
     Table t("CartPole_v0 evolution (population 150)");
@@ -48,6 +60,32 @@ main(int argc, char **argv)
     std::cout << "\nsolved: " << (summary.solved ? "yes" : "no")
               << "  generations: " << summary.generations
               << "  best fitness: " << summary.bestFitness << "\n";
+
+    // One deterministic digest line per generation (absolute
+    // generation numbers, FNV-1a over the report's algorithm and
+    // hardware fields). The CI kill/resume smoke concatenates these
+    // from an interrupted + resumed pair of processes and diffs them
+    // against one uninterrupted run.
+    for (const auto &r : sys.reports()) {
+        uint64_t h = 0xcbf29ce484222325ull;
+        const auto fold = [&h](uint64_t v) {
+            for (int b = 0; b < 8; ++b) {
+                h ^= (v >> (8 * b)) & 0xffu;
+                h *= 0x100000001b3ull;
+            }
+        };
+        fold(static_cast<uint64_t>(r.algo.generation));
+        fold(std::bit_cast<uint64_t>(r.algo.bestFitness));
+        fold(std::bit_cast<uint64_t>(r.algo.meanFitness));
+        fold(static_cast<uint64_t>(r.algo.totalGenes));
+        fold(static_cast<uint64_t>(r.algo.evolutionOps));
+        fold(static_cast<uint64_t>(r.inferenceSteps));
+        fold(static_cast<uint64_t>(r.hw.eve.cycles));
+        fold(static_cast<uint64_t>(r.hw.adam.cycles));
+        fold(std::bit_cast<uint64_t>(r.hw.evolutionEnergyJ));
+        std::printf("digest gen %03d 0x%016llx\n", r.algo.generation,
+                    static_cast<unsigned long long>(h));
+    }
 
     // Phase breakdown: mean wall-clock per generation, plus the
     // measured generation-barrier idle fraction (worker-seconds the

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/logging.hh"
+
 namespace genesys
 {
 
@@ -81,9 +83,37 @@ XorWow::uniform(double lo, double hi)
     return lo + (hi - lo) * uniform();
 }
 
+XorWowState
+XorWow::saveState() const
+{
+    XorWowState s;
+    for (int i = 0; i < 5; ++i)
+        s.state[i] = state_[i];
+    s.weyl = weyl_;
+    s.hasCachedGaussian = hasCachedGaussian_;
+    s.cachedGaussian = cachedGaussian_;
+    return s;
+}
+
+void
+XorWow::loadState(const XorWowState &s)
+{
+    for (int i = 0; i < 5; ++i)
+        state_[i] = s.state[i];
+    weyl_ = s.weyl;
+    hasCachedGaussian_ = s.hasCachedGaussian;
+    cachedGaussian_ = s.cachedGaussian;
+}
+
 uint32_t
 XorWow::uniformInt(uint32_t n)
 {
+    // The Lemire rejection below computes -n % n, which divides by
+    // zero for n == 0. That is reachable from choiceIndex() on an
+    // empty container — make it a clear fatal error instead of UB.
+    if (n == 0)
+        fatal("XorWow::uniformInt(0): empty range "
+              "(choiceIndex on an empty container?)");
     // Lemire's multiply-shift rejection method for unbiased bounded
     // integers.
     uint64_t m = static_cast<uint64_t>(next32()) * n;

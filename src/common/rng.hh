@@ -21,6 +21,24 @@ namespace genesys
 {
 
 /**
+ * Complete serializable state of one XorWow stream: the five xorshift
+ * words, the Weyl counter, AND the Box-Muller gaussian cache. The
+ * cache is part of the observable stream state: gaussian() produces
+ * variates in pairs and hands out the second one on the next call, so
+ * a snapshot that dropped it would replay a different value on the
+ * first post-restore gaussian() and silently diverge from the
+ * uninterrupted run one draw later. Restoring a saved state resumes
+ * the output sequence bit-identically for every draw kind.
+ */
+struct XorWowState
+{
+    uint32_t state[5] = {0, 0, 0, 0, 0};
+    uint32_t weyl = 0;
+    bool hasCachedGaussian = false;
+    double cachedGaussian = 0.0;
+};
+
+/**
  * XOR-WOW pseudo random number generator (Marsaglia, 2003).
  *
  * Five 32-bit words of xorshift state plus a Weyl sequence counter.
@@ -52,7 +70,7 @@ class XorWow
     /** Uniform double in [lo, hi). */
     double uniform(double lo, double hi);
 
-    /** Uniform integer in [0, n). Requires n > 0. */
+    /** Uniform integer in [0, n). n == 0 is a fatal error. */
     uint32_t uniformInt(uint32_t n);
 
     /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
@@ -67,7 +85,11 @@ class XorWow
     /** Bernoulli trial: true with probability p. */
     bool bernoulli(double p) { return uniform() < p; }
 
-    /** Pick a uniformly random element index of a non-empty container. */
+    /**
+     * Pick a uniformly random element index of a container. The
+     * container must be non-empty (an empty one is a fatal error via
+     * uniformInt(0), not undefined behaviour).
+     */
     template <typename Container>
     std::size_t
     choiceIndex(const Container &c)
@@ -89,6 +111,16 @@ class XorWow
 
     /** Reseed the generator (resets gaussian cache too). */
     void reseed(uint64_t seed);
+
+    /**
+     * Snapshot the complete stream state, including the Box-Muller
+     * gaussian cache. loadState(saveState()) resumes the output
+     * sequence bit-identically (see XorWowState).
+     */
+    XorWowState saveState() const;
+
+    /** Restore a state captured with saveState(). */
+    void loadState(const XorWowState &s);
 
   private:
     uint32_t state_[5];

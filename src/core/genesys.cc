@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
+#include <sstream>
 
 #include "common/logging.hh"
 #include "nn/compiled_plan.hh"
 #include "obs/metrics.hh"
 #include "obs/tracer.hh"
+#include "persist/snapshot.hh"
 
 namespace genesys::core
 {
@@ -49,6 +52,14 @@ System::System(SystemConfig cfg)
     // config the same way GENESYS_EVAL_MODE does below.
     obs::applyTelemetryFromEnv(cfg_.telemetry);
     telemetry_ = std::make_unique<obs::Telemetry>(cfg_.telemetry);
+
+    // Checkpointing knobs resolve the same way; a bad
+    // GENESYS_CHECKPOINT_EVERY is a fatal configuration error here,
+    // not at the first generation barrier.
+    persist::applyCheckpointFromEnv(cfg_.checkpointDir,
+                                    cfg_.checkpointEveryN);
+    if (!cfg_.checkpointDir.empty())
+        std::filesystem::create_directories(cfg_.checkpointDir);
 
     population_ = std::make_unique<neat::Population>(neatCfg_, cfg_.seed);
 
@@ -232,7 +243,80 @@ System::stepGeneration()
     }
 
     reports_.push_back(std::move(report));
+
+    // Generation barrier: the population now holds the next,
+    // unevaluated generation (bred + speciated). This is the one
+    // point in the loop where the full evolution state is compact and
+    // quiescent — snapshot it here. Nothing to checkpoint when
+    // solved: the run is over.
+    if (!done && !cfg_.checkpointDir.empty() &&
+        cfg_.checkpointEveryN > 0 &&
+        population_->generation() % cfg_.checkpointEveryN == 0) {
+        writeCheckpoint();
+    }
     return done;
+}
+
+void
+System::writeCheckpoint()
+{
+    obs::Span span("checkpoint", "phase", population_->generation());
+    persist::SystemSnapshot snap;
+    snap.envName = cfg_.envName;
+    snap.seed = cfg_.seed;
+    snap.populationSize = neatCfg_.populationSize;
+    snap.numInputs = neatCfg_.numInputs;
+    snap.numOutputs = neatCfg_.numOutputs;
+    snap.feedForward = neatCfg_.feedForward;
+    snap.population = population_->capture();
+    if (const auto *reg = obs::MetricsRegistry::active())
+        snap.counters = reg->counterSnapshot();
+
+    const std::string path =
+        cfg_.checkpointDir + "/" +
+        persist::snapshotFileName(population_->generation());
+    persist::writeSnapshotFile(snap, path);
+    if (auto *reg = obs::MetricsRegistry::active())
+        reg->counter("checkpoints.written").add(1);
+}
+
+void
+System::resumeFrom(const std::string &path)
+{
+    persist::SystemSnapshot snap = persist::readSnapshotFile(path);
+
+    // Provenance gate: a snapshot only resumes the run that wrote it.
+    // Everything below is config the snapshot's state is a pure
+    // function of — resuming under a different one would not be the
+    // run the file claims to continue.
+    auto mismatch = [&](const std::string &what, const auto &have,
+                        const auto &want) {
+        std::ostringstream oss;
+        oss << "snapshot \"" << path << "\" does not match this run: "
+            << what << " is " << have << " in the file, " << want
+            << " in the config";
+        throw persist::SnapshotError(oss.str());
+    };
+    if (snap.envName != cfg_.envName)
+        mismatch("environment", snap.envName, cfg_.envName);
+    if (snap.seed != cfg_.seed)
+        mismatch("seed", snap.seed, cfg_.seed);
+    if (snap.populationSize != neatCfg_.populationSize)
+        mismatch("population size", snap.populationSize,
+                 neatCfg_.populationSize);
+    if (snap.numInputs != neatCfg_.numInputs)
+        mismatch("input count", snap.numInputs, neatCfg_.numInputs);
+    if (snap.numOutputs != neatCfg_.numOutputs)
+        mismatch("output count", snap.numOutputs, neatCfg_.numOutputs);
+    if (snap.feedForward != neatCfg_.feedForward)
+        mismatch("feed-forward flag", snap.feedForward,
+                 neatCfg_.feedForward);
+
+    // Validated end to end — apply atomically.
+    population_->restore(std::move(snap.population));
+    if (auto *reg = obs::MetricsRegistry::active())
+        reg->restoreCounters(snap.counters);
+    solved_ = false;
 }
 
 RunSummary

@@ -74,6 +74,18 @@ struct SystemConfig
      * GENESYS_EVAL_MODE).
      */
     obs::TelemetryConfig telemetry{};
+    /**
+     * Checkpointing: when non-empty, a persist:: snapshot of the full
+     * evolution state is written into this directory at the
+     * generation barrier (created if missing). "" = off. The
+     * GENESYS_CHECKPOINT_DIR / GENESYS_CHECKPOINT_EVERY environment
+     * variables override these fields (same idiom as
+     * GENESYS_EVAL_MODE). Resuming from a snapshot reproduces the
+     * uninterrupted run bit-identically — see System::resumeFrom.
+     */
+    std::string checkpointDir;
+    /** Write a snapshot every N generations (default: every one). */
+    int checkpointEveryN = 1;
     /** Optional NEAT overrides applied after the workload defaults. */
     std::function<void(neat::NeatConfig &)> tweakNeat;
 };
@@ -189,7 +201,26 @@ class System
     /** Replay the current best genome; returns its episode fitness. */
     env::EpisodeResult replayBest(uint64_t seed);
 
+    /**
+     * Resume this (freshly constructed, un-stepped) System from a
+     * snapshot file written by a previous run's checkpointing. The
+     * file is parsed and fully validated first — magic, version,
+     * digest, chunk structure, and provenance against this System's
+     * config (environment, seed, population shape) — and only then
+     * applied, so a persist::SnapshotError (thrown on any mismatch)
+     * leaves the System exactly as constructed. After a successful
+     * resume, stepGeneration() continues from the checkpointed
+     * generation barrier and the run is bit-identical to the
+     * uninterrupted one; run() executes cfg.maxGenerations *further*
+     * generations, so a resumed run wanting the original horizon
+     * passes (total - already-run) as maxGenerations.
+     */
+    void resumeFrom(const std::string &path);
+
   private:
+    /** Snapshot the generation barrier into cfg_.checkpointDir. */
+    void writeCheckpoint();
+
     SystemConfig cfg_;
     WorkloadSpec spec_;
     neat::NeatConfig neatCfg_;

@@ -58,6 +58,13 @@ struct PackedGene
  * Codec between software genes and the 64-bit hardware format.
  * Float attributes saturate to the Q6.10 range [-32, 32), matching
  * the NEAT attribute bounds of +/-30.
+ *
+ * This is the hardware/migration wire format, NOT a checkpoint
+ * format: Q6.10 quantizes every float attribute (round-trip error up
+ * to resolution/2 = 2^-11, pinned by test_gene_encoding.cc), so
+ * decodeGenome(encodeGenome(g)) is lossy by design. Bit-exact
+ * persistence — checkpoint/resume — uses persist::encodeGenomeLossless,
+ * which stores attributes as raw IEEE-754 doubles.
  */
 class GeneCodec
 {
@@ -99,7 +106,12 @@ class GeneCodec
     void encodeGenome(const neat::Genome &g, const neat::NeatConfig &cfg,
                       std::vector<PackedGene> &out) const;
 
-    /** Rebuild a genome (key `key`) from its packed stream. */
+    /**
+     * Rebuild a genome (key `key`) from its packed stream. Lossy:
+     * attributes come back quantized to Q6.10 (see the class doc) —
+     * fine for hardware simulation and migration, wrong for
+     * checkpointing.
+     */
     neat::Genome decodeGenome(const std::vector<PackedGene> &stream,
                               int key) const;
 

@@ -49,6 +49,13 @@ class NodeIndexer
 
     int peek() const { return nextKey_; }
 
+    /**
+     * Snapshot restore: future keys resume exactly at `next_key`
+     * (persist::* saves peek() and hands it back here, so a resumed
+     * run issues the same node ids the uninterrupted run would).
+     */
+    void restore(int next_key) { nextKey_ = next_key; }
+
   private:
     int nextKey_;
 };
@@ -204,6 +211,13 @@ class Genome
 
     /** Node deletions applied to this genome since its creation. */
     int nodeDeletions() const { return nodeDeletions_; }
+
+    /**
+     * Snapshot restore for the deletion counter (it gates the EvE
+     * liveness threshold, so a rebuilt genome must carry it or a
+     * resumed run could delete nodes the uninterrupted run refused).
+     */
+    void restoreNodeDeletions(int n) { nodeDeletions_ = n; }
 
   private:
     /**

@@ -49,6 +49,42 @@ Population::collectStats(const EvolutionTrace *trace) const
     return s;
 }
 
+PopulationSnapshot
+Population::capture() const
+{
+    PopulationSnapshot s;
+    s.genomes = population_;
+    s.generation = generation_;
+    s.rngState = rng_.saveState();
+    s.species = speciesSet_.species();
+    s.nextSpeciesKey = speciesSet_.nextSpeciesKey();
+    s.nextGenomeKey = reproduction_.genomesCreated();
+    s.nextNodeKey = reproduction_.nodeIndexer().peek();
+    s.hasBest = hasBest_;
+    if (hasBest_)
+        s.bestGenome = bestGenome_;
+    if (!traces_.empty())
+        s.traces.push_back(traces_.back());
+    return s;
+}
+
+void
+Population::restore(PopulationSnapshot snapshot)
+{
+    population_ = std::move(snapshot.genomes);
+    generation_ = snapshot.generation;
+    rng_.loadState(snapshot.rngState);
+    speciesSet_.restore(std::move(snapshot.species),
+                        snapshot.nextSpeciesKey);
+    reproduction_.restore(snapshot.nextGenomeKey, snapshot.nextNodeKey);
+    hasBest_ = snapshot.hasBest;
+    bestGenome_ = std::move(snapshot.bestGenome);
+    traces_ = std::move(snapshot.traces);
+    history_.clear();
+    lastPhases_ = StepPhaseTimes{};
+    trimTraces();
+}
+
 bool
 Population::step(const FitnessFn &fitness)
 {

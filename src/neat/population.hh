@@ -57,6 +57,39 @@ struct StepPhaseTimes
     double speciateSeconds = 0.0;
 };
 
+/**
+ * The complete resumable state of a Population, in domain types (the
+ * byte-level snapshot codec lives in src/persist/). Captured at the
+ * generation barrier — right after reproduce + speciate bred an
+ * unevaluated generation — and applied to a freshly constructed
+ * Population by restore(). Every field is forward-determinism state:
+ * dropping any one of them breaks bit-identity of a resumed run.
+ */
+struct PopulationSnapshot
+{
+    /** The unevaluated population about to be evaluated. */
+    std::map<int, Genome> genomes;
+    /** Generation counter (index of the generation in `genomes`). */
+    int generation = 0;
+    /** The evolution RNG stream, incl. the gaussian cache. */
+    XorWowState rngState;
+    /** Species partition incl. stagnation (fitness) histories. */
+    std::map<int, Species> species;
+    int nextSpeciesKey = 1;
+    /** Reproduction's genome-key and node-id issuers. */
+    int nextGenomeKey = 0;
+    int nextNodeKey = 0;
+    /** Best genome seen so far (carries its fitness). */
+    bool hasBest = false;
+    Genome bestGenome;
+    /**
+     * The trace that bred `genomes` (at most one). Only the latest
+     * trace has forward effect (the next step's stats read it);
+     * older traces are observability history and stay behind.
+     */
+    std::vector<EvolutionTrace> traces;
+};
+
 /** Outcome of Population::run(). */
 struct RunResult
 {
@@ -156,6 +189,24 @@ class Population
     }
 
     XorWow &rng() { return rng_; }
+    const XorWow &rng() const { return rng_; }
+    const Reproduction &reproduction() const { return reproduction_; }
+
+    /**
+     * Capture the resumable state (see PopulationSnapshot). Call at
+     * the generation barrier — after a step bred and speciated the
+     * next (unevaluated) generation.
+     */
+    PopulationSnapshot capture() const;
+
+    /**
+     * Replace this population's state with a captured snapshot. The
+     * whole snapshot is applied at once (the caller validates it
+     * first, so a bad file never leaves a half-restored population).
+     * History and phase timers reset: the resumed run reports
+     * generations from the restore point on.
+     */
+    void restore(PopulationSnapshot snapshot);
 
   private:
     GenerationStats

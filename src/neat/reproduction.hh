@@ -51,9 +51,23 @@ class Reproduction
                  int min_species_size);
 
     NodeIndexer &nodeIndexer() { return nodeIndexer_; }
+    const NodeIndexer &nodeIndexer() const { return nodeIndexer_; }
 
     /** Total genomes created so far (next genome key). */
     int genomesCreated() const { return nextGenomeKey_; }
+
+    /**
+     * Snapshot restore: resume the genome-key and node-id issuers
+     * exactly where the saved run left them. Without this, a resumed
+     * run would re-issue keys the saved population already holds and
+     * crossover alignment (globally-unique node ids) would break.
+     */
+    void
+    restore(int next_genome_key, int next_node_key)
+    {
+        nextGenomeKey_ = next_genome_key;
+        nodeIndexer_.restore(next_node_key);
+    }
 
   private:
     int nextGenomeKey_ = 0;

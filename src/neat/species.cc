@@ -142,6 +142,19 @@ SpeciesSet::speciesOf(int genome_key) const
 }
 
 void
+SpeciesSet::restore(std::map<int, Species> species, int next_species_key)
+{
+    species_ = std::move(species);
+    nextSpeciesKey_ = next_species_key;
+    genomeToSpecies_.clear();
+    for (const auto &[sk, sp] : species_) {
+        for (int mk : sp.memberKeys)
+            genomeToSpecies_[mk] = sk;
+    }
+    lastMeanDistance_ = 0.0;
+}
+
+void
 SpeciesSet::remove(int species_key)
 {
     auto it = species_.find(species_key);

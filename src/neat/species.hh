@@ -83,6 +83,18 @@ class SpeciesSet
     /** Remove a species (stagnation). */
     void remove(int species_key);
 
+    /** Next species key to be issued (snapshot provenance). */
+    int nextSpeciesKey() const { return nextSpeciesKey_; }
+
+    /**
+     * Snapshot restore: replace the whole species partition (member
+     * lists, representatives, fitness histories) and the species-key
+     * counter; the genome->species index is rebuilt from the member
+     * lists. Used by persist::* — a resumed run speciates and ages
+     * species exactly as the uninterrupted run would.
+     */
+    void restore(std::map<int, Species> species, int next_species_key);
+
     /** Mean/max genomic distance observed in the last speciation. */
     double lastMeanDistance() const { return lastMeanDistance_; }
 

@@ -176,4 +176,23 @@ MetricsRegistry::names() const
     return out;
 }
 
+std::vector<std::pair<std::string, long>>
+MetricsRegistry::counterSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, long>> out;
+    out.reserve(counters_.size());
+    for (const auto &[name, c] : counters_)
+        out.emplace_back(name, c->value());
+    return out;
+}
+
+void
+MetricsRegistry::restoreCounters(
+    const std::vector<std::pair<std::string, long>> &vals)
+{
+    for (const auto &[name, v] : vals)
+        counter(name).restore(v);
+}
+
 } // namespace genesys::obs

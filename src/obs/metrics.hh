@@ -53,6 +53,18 @@ class Counter
         return v_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * Snapshot restore: overwrite the running value. Only the
+     * checkpoint/resume path calls this (a resumed run's counters
+     * continue from the saved run's totals instead of restarting at
+     * zero); everything else treats counters as monotonic.
+     */
+    void
+    restore(long v)
+    {
+        v_.store(v, std::memory_order_relaxed);
+    }
+
   private:
     std::atomic<long> v_{0};
 };
@@ -153,6 +165,22 @@ class MetricsRegistry
 
     /** All registered metric names (sorted, all kinds). */
     std::vector<std::string> names() const;
+
+    /**
+     * All counters as (name, value) pairs, sorted by name — the
+     * snapshot side of checkpoint/resume counter continuity. Gauges
+     * and histograms are instantaneous / per-run views and are not
+     * part of a snapshot.
+     */
+    std::vector<std::pair<std::string, long>> counterSnapshot() const;
+
+    /**
+     * Restore counters captured by counterSnapshot() into this
+     * registry (creating any that don't exist yet). A resumed run's
+     * cumulative counters continue from the saved totals.
+     */
+    void
+    restoreCounters(const std::vector<std::pair<std::string, long>> &vals);
 
   private:
     enum class Kind { Counter, Gauge, Histogram };

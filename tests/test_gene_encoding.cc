@@ -91,6 +91,44 @@ TEST(GeneCodec, QuantizationErrorBounded)
     }
 }
 
+TEST(GeneCodec, DecodeGenomeIsLossyNotACheckpointFormat)
+{
+    // The Q6.10 hardware format quantizes every attribute: decode .
+    // encode is NOT the identity, and its round-trip error is pinned
+    // at resolution/2 = 2^-11 (round-to-nearest). This is why the hw
+    // codec serves as the hardware/migration wire format only —
+    // checkpoint/resume uses persist::encodeGenomeLossless, which
+    // stores raw IEEE-754 bits (see test_snapshot.cc).
+    GeneCodec codec;
+    const double kMaxError = codec.attrCodec().resolution() / 2;
+    EXPECT_DOUBLE_EQ(kMaxError, 1.0 / 2048.0);
+
+    // A typical non-representable attribute: 0.3 is not a multiple of
+    // 2^-10, so it cannot survive the hw round trip...
+    ConnectionGene g;
+    g.key = {0, 1};
+    g.weight = 0.3;
+    const auto d = codec.decodeConnection(codec.encodeConnection(g));
+    EXPECT_NE(d.weight, 0.3);
+    EXPECT_NEAR(d.weight, 0.3, kMaxError + 1e-12);
+
+    // ...and a uniform sweep across the Q6.10 range never exceeds the
+    // pinned bound, while almost never being exact.
+    XorWow rng(71);
+    int exact = 0;
+    for (int i = 0; i < 2000; ++i) {
+        ConnectionGene c;
+        c.key = {0, 1};
+        c.weight = rng.uniform(-32.0, 31.96875);
+        const auto back =
+            codec.decodeConnection(codec.encodeConnection(c));
+        ASSERT_NEAR(back.weight, c.weight, kMaxError + 1e-12);
+        if (back.weight == c.weight)
+            ++exact;
+    }
+    EXPECT_LT(exact, 100);
+}
+
 TEST(GeneCodec, IdBiasCoversNegativeInputIds)
 {
     EXPECT_EQ(GeneCodec::unpackId(GeneCodec::packId(-128)), -128);

@@ -26,6 +26,11 @@
  * CI mode matrix the same constants must hold for the serial,
  * per-genome-batched and heterogeneous-wave execution paths — the
  * strongest cross-mode identity statement in the tree.
+ *
+ * The Resumed* variants run the same configurations interrupted at a
+ * mid-run generation barrier — checkpoint, destroy the System, resume
+ * in a fresh one — and must land on the SAME constants: the
+ * persist:: save/load boundary is invisible to every digested bit.
  */
 
 #include <gtest/gtest.h>
@@ -33,8 +38,11 @@
 #include <bit>
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
+#include <sstream>
 
 #include "core/genesys.hh"
+#include "persist/snapshot.hh"
 
 using namespace genesys;
 
@@ -57,9 +65,9 @@ fold(uint64_t &h, double v)
     fold(h, std::bit_cast<uint64_t>(v));
 }
 
-/** Run a fixed 6-generation system and digest its observable state. */
-uint64_t
-digestRun(const std::string &envName, bool feed_forward, int threads)
+/** The fixed configuration every golden run uses. */
+core::SystemConfig
+goldenConfig(const std::string &envName, bool feed_forward, int threads)
 {
     core::SystemConfig cfg;
     cfg.envName = envName;
@@ -74,10 +82,14 @@ digestRun(const std::string &envName, bool feed_forward, int threads)
         ncfg.populationSize = 32;
         ncfg.feedForward = feed_forward;
     };
+    return cfg;
+}
 
-    core::System sys(cfg);
-    const core::RunSummary s = sys.run();
-
+/** Digest a run's summary + per-generation reports. */
+uint64_t
+digestFields(const core::RunSummary &s,
+             const std::vector<core::GenerationReport> &reports)
+{
     uint64_t h = 0xcbf29ce484222325ull; // FNV offset basis
     fold(h, static_cast<uint64_t>(s.solved));
     fold(h, static_cast<uint64_t>(s.generations));
@@ -86,7 +98,7 @@ digestRun(const std::string &envName, bool feed_forward, int threads)
     fold(h, s.totalInferenceEnergyJ);
     fold(h, s.totalEvolutionSeconds);
     fold(h, s.totalInferenceSeconds);
-    for (const core::GenerationReport &r : sys.reports()) {
+    for (const core::GenerationReport &r : reports) {
         fold(h, r.algo.bestFitness);
         fold(h, r.algo.meanFitness);
         fold(h, static_cast<uint64_t>(r.algo.evolutionOps));
@@ -101,6 +113,85 @@ digestRun(const std::string &envName, bool feed_forward, int threads)
         fold(h, r.hw.inferenceEnergyJ);
     }
     return h;
+}
+
+/** Run a fixed 6-generation system and digest its observable state. */
+uint64_t
+digestRun(const std::string &envName, bool feed_forward, int threads)
+{
+    core::System sys(goldenConfig(envName, feed_forward, threads));
+    const core::RunSummary s = sys.run();
+    return digestFields(s, sys.reports());
+}
+
+/**
+ * The same 6-generation run, interrupted at the `split` generation
+ * barrier: the first System checkpoints and is destroyed, a second
+ * one resumes from the snapshot file and runs the remaining horizon.
+ * Digests the exact fields digestRun does, so the committed constants
+ * double as the resumed-run oracle — the strongest statement that
+ * save/load crosses the boundary bit-identically.
+ */
+uint64_t
+digestResumedRun(const std::string &envName, bool feed_forward,
+                 int threads, int split)
+{
+    namespace fs = std::filesystem;
+    std::ostringstream dn;
+    dn << "genesys-golden-ckpt-" << envName
+       << (feed_forward ? "-ff-" : "-rec-") << threads;
+    const fs::path dir = fs::temp_directory_path() / dn.str();
+    fs::remove_all(dir);
+
+    core::SystemConfig cfg = goldenConfig(envName, feed_forward, threads);
+    cfg.checkpointDir = dir.string();
+
+    std::vector<core::GenerationReport> reports;
+    bool solved = false;
+    double best_fitness = 0.0;
+    {
+        core::System a(cfg);
+        for (int g = 0; g < split && !solved; ++g)
+            solved = a.stepGeneration();
+        reports = a.reports();
+        if (solved && a.population().hasBest())
+            best_fitness = a.population().bestGenome().fitness();
+    } // first "process" dies here
+
+    EXPECT_FALSE(solved)
+        << envName << " solved before the split generation " << split
+        << "; the save/load boundary was not exercised — lower split";
+    if (!solved) {
+        const std::string snap =
+            (dir / persist::snapshotFileName(split)).string();
+        EXPECT_TRUE(fs::exists(snap)) << "missing checkpoint " << snap;
+        core::SystemConfig rest = cfg;
+        rest.checkpointDir.clear();
+        rest.maxGenerations = 6 - split; // the remaining horizon
+        core::System b(rest);
+        b.resumeFrom(snap);
+        const core::RunSummary sb = b.run();
+        solved = sb.solved;
+        best_fitness = sb.bestFitness;
+        reports.insert(reports.end(), b.reports().begin(),
+                       b.reports().end());
+    }
+    fs::remove_all(dir);
+
+    // Reconstruct the uninterrupted run's summary: run() derives it
+    // from the best genome and the report list, both of which carry
+    // across the boundary.
+    core::RunSummary s;
+    s.solved = solved;
+    s.generations = static_cast<int>(reports.size());
+    s.bestFitness = best_fitness;
+    for (const core::GenerationReport &r : reports) {
+        s.totalEvolutionEnergyJ += r.hw.evolutionEnergyJ;
+        s.totalInferenceEnergyJ += r.hw.inferenceEnergyJ;
+        s.totalEvolutionSeconds += r.hw.evolutionSeconds;
+        s.totalInferenceSeconds += r.hw.inferenceSeconds();
+    }
+    return digestFields(s, reports);
 }
 
 /**
@@ -127,6 +218,28 @@ expectGolden(const std::string &envName, bool feed_forward,
         << envName << " digest differs at 8 threads";
 }
 
+/**
+ * Check that a run interrupted at the `split` generation barrier and
+ * resumed in a fresh System reproduces the SAME committed constant as
+ * the uninterrupted run, at 1 and 8 threads. `split` must precede the
+ * configuration's solve generation or there is no barrier to cross
+ * (the CartPole configs solve on generation 2's evaluation, so they
+ * split at 2; the Atari ones run all 6 and split at 3).
+ */
+void
+expectGoldenResumed(const std::string &envName, bool feed_forward,
+                    int split, uint64_t golden)
+{
+    const uint64_t d1 =
+        digestResumedRun(envName, feed_forward, 1, split);
+    EXPECT_EQ(d1, golden)
+        << envName << (feed_forward ? " feed-forward" : " recurrent")
+        << " resumed-run digest differs from the uninterrupted "
+           "golden constant: checkpoint/resume is not bit-identical";
+    EXPECT_EQ(digestResumedRun(envName, feed_forward, 8, split), d1)
+        << envName << " resumed digest differs at 8 threads";
+}
+
 } // namespace
 
 TEST(GoldenDigestTest, CartPoleFeedForward)
@@ -147,4 +260,26 @@ TEST(GoldenDigestTest, AtariRamFeedForward)
 TEST(GoldenDigestTest, AtariRamRecurrent)
 {
     expectGolden("AirRaid-ram-v0", false, 0x43e86f2c5070f181ull);
+}
+
+TEST(GoldenDigestTest, ResumedCartPoleFeedForward)
+{
+    expectGoldenResumed("CartPole_v0", true, 2, 0xa4dd2bf2e33d8903ull);
+}
+
+TEST(GoldenDigestTest, ResumedCartPoleRecurrent)
+{
+    expectGoldenResumed("CartPole_v0", false, 2, 0xf4652fd5a13a0e77ull);
+}
+
+TEST(GoldenDigestTest, ResumedAtariRamFeedForward)
+{
+    expectGoldenResumed("AirRaid-ram-v0", true, 3,
+                        0x04275853e587422aull);
+}
+
+TEST(GoldenDigestTest, ResumedAtariRamRecurrent)
+{
+    expectGoldenResumed("AirRaid-ram-v0", false, 3,
+                        0x43e86f2c5070f181ull);
 }

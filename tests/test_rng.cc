@@ -160,6 +160,76 @@ TEST(XorWow, Next8UsesHighBits)
     EXPECT_EQ(seen.size(), 256u);
 }
 
+TEST(XorWow, UniformIntZeroRangeIsFatal)
+{
+    // `-n % n` is UB at n == 0 (reachable via choiceIndex on an empty
+    // container); the guard turns it into a descriptive user error.
+    XorWow rng(43);
+    EXPECT_THROW((void)rng.uniformInt(0u), std::runtime_error);
+}
+
+TEST(XorWow, ChoiceIndexEmptyContainerIsFatal)
+{
+    XorWow rng(47);
+    const std::vector<int> empty;
+    EXPECT_THROW((void)rng.choiceIndex(empty), std::runtime_error);
+}
+
+TEST(XorWow, SaveLoadRoundTripBitIdentical)
+{
+    XorWow a(53);
+    // Burn a mixed prefix so the state is mid-stream.
+    for (int i = 0; i < 100; ++i) {
+        (void)a.next32();
+        (void)a.uniform();
+        (void)a.uniformInt(17u);
+    }
+    const XorWowState s = a.saveState();
+    XorWow b(999); // deliberately different seed; loadState overwrites
+    b.loadState(s);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(a.next32(), b.next32());
+        EXPECT_EQ(a.uniform(), b.uniform());
+        EXPECT_EQ(a.uniformInt(-5, 5), b.uniformInt(-5, 5));
+    }
+}
+
+TEST(XorWow, SaveLoadCapturesGaussianCache)
+{
+    // Box-Muller generates two variates and caches the second: the
+    // cache is observable stream state. Snapshot with the cache FULL
+    // (odd number of gaussian() calls) — a save/load that dropped it
+    // would shift every subsequent gaussian by one.
+    XorWow a(59);
+    (void)a.gaussian(); // fills the cache with the second variate
+    const XorWowState full = a.saveState();
+    EXPECT_TRUE(full.hasCachedGaussian);
+
+    XorWow b(1);
+    b.loadState(full);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.gaussian(), b.gaussian());
+        EXPECT_EQ(a.next32(), b.next32());
+    }
+
+    // And with the cache EMPTY (one more call consumes it).
+    (void)a.gaussian();
+    const XorWowState empty = a.saveState();
+    EXPECT_FALSE(empty.hasCachedGaussian);
+    b.loadState(empty);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.gaussian(), b.gaussian());
+}
+
+TEST(XorWow, SaveStateDoesNotPerturbStream)
+{
+    XorWow a(61), b(61);
+    for (int i = 0; i < 10; ++i) {
+        (void)a.saveState();
+        EXPECT_EQ(a.gaussian(), b.gaussian());
+    }
+}
+
 TEST(SplitMix, DeriveSeedIndependentStreams)
 {
     const uint64_t base = 99;
