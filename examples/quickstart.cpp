@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "common/check.hh"
 #include "common/table.hh"
 #include "core/genesys.hh"
 
@@ -26,6 +27,14 @@ int
 main(int argc, char **argv)
 {
     using namespace genesys;
+
+    // Self-identifying log header: which correctness tooling this
+    // binary carries (GENESYS_CHECKED build flag + env toggle, and
+    // the sanitizer it was compiled under, if any).
+    std::cout << "build: checked="
+              << (checkedBuild() ? (checksEnabled() ? "on" : "built-but-off")
+                                 : "off")
+              << " sanitizer=" << sanitizerName() << "\n";
 
     core::SystemConfig cfg;
     cfg.envName = "CartPole_v0";

@@ -1,0 +1,43 @@
+#include "common/check.hh"
+
+#ifdef GENESYS_CHECKED
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace genesys
+{
+
+namespace
+{
+
+bool
+parseCheckedEnv()
+{
+    const char *raw = std::getenv("GENESYS_CHECKED");
+    if (!raw || !*raw)
+        return true; // checked build: checks default on
+    std::string value(raw);
+    for (char &c : value)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (value == "1" || value == "on" || value == "true" || value == "yes")
+        return true;
+    if (value == "0" || value == "off" || value == "false" || value == "no")
+        return false;
+    fatal("GENESYS_CHECKED: unrecognized value '" + std::string(raw) +
+          "' (expected 1/on/true/yes or 0/off/false/no)");
+}
+
+} // namespace
+
+bool
+checksEnabled()
+{
+    static const bool enabled = parseCheckedEnv();
+    return enabled;
+}
+
+} // namespace genesys
+
+#endif // GENESYS_CHECKED

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Debug invariant checks, compiled out of release builds.
+ *
+ * GENESYS_ASSERT (logging.hh) guards cheap, always-on contracts.
+ * GENESYS_DCHECK guards the expensive ones — full-structure walks,
+ * per-lane bounds in inner loops — that would tax the steady-state
+ * path. They exist only when the GENESYS_CHECKED CMake option defines
+ * the macro of the same name; a checked build can still disable them
+ * at runtime with GENESYS_CHECKED=0 in the environment.
+ *
+ * Checks must never alter observable behavior: a checked build that
+ * passes must produce bit-identical golden digests to a release
+ * build.
+ */
+
+#ifndef GENESYS_COMMON_CHECK_HH
+#define GENESYS_COMMON_CHECK_HH
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace genesys
+{
+
+/** True when this binary was built with GENESYS_CHECKED=ON. */
+constexpr bool
+checkedBuild()
+{
+#ifdef GENESYS_CHECKED
+    return true;
+#else
+    return false;
+#endif
+}
+
+// GCC signals sanitizers via __SANITIZE_*__; clang via __has_feature.
+#ifdef __has_feature
+#define GENESYS_HAS_FEATURE(x) __has_feature(x)
+#else
+#define GENESYS_HAS_FEATURE(x) 0
+#endif
+
+/**
+ * Which sanitizer this binary was compiled under ("address",
+ * "thread", or "none") — for startup banners, so a log is
+ * self-identifying.
+ */
+constexpr const char *
+sanitizerName()
+{
+#if defined(__SANITIZE_THREAD__) || GENESYS_HAS_FEATURE(thread_sanitizer)
+    return "thread";
+#elif defined(__SANITIZE_ADDRESS__) ||                                     \
+    GENESYS_HAS_FEATURE(address_sanitizer)
+    return "address";
+#else
+    return "none";
+#endif
+}
+
+#ifdef GENESYS_CHECKED
+/**
+ * Whether DCHECKs fire at runtime. Reads the GENESYS_CHECKED
+ * environment variable once (absent/1/on/true/yes enable, 0/off/false/no
+ * disable, anything else is a fatal configuration error).
+ */
+bool checksEnabled();
+#else
+constexpr bool
+checksEnabled()
+{
+    return false;
+}
+#endif
+
+namespace detail
+{
+
+/**
+ * The range predicate behind GENESYS_DCHECK_RANGE. A function
+ * template rather than inline macro arithmetic so an unsigned value
+ * checked against a zero lower bound does not trip -Wtype-limits
+ * ("comparison always false") under -Werror — the comparison is
+ * type-dependent here, which the compiler treats as intentional.
+ */
+template <typename V, typename L, typename H>
+constexpr bool
+dcheckInRange(V v, L lo, H hi)
+{
+    return !(v < lo) && v < hi;
+}
+
+} // namespace detail
+
+#ifdef GENESYS_CHECKED
+
+/** Check an invariant; msg may be an ostream chain. */
+#define GENESYS_DCHECK(cond, msg)                                          \
+    do {                                                                   \
+        if (::genesys::checksEnabled() && !(cond)) {                       \
+            std::ostringstream _gsy_oss;                                   \
+            _gsy_oss << "dcheck failed: " #cond ": " << msg;               \
+            ::genesys::panic(_gsy_oss.str());                              \
+        }                                                                  \
+    } while (0)
+
+/**
+ * Check `lo <= val < hi`. The three operands must share a comparable
+ * type (indices are std::size_t throughout GeneSys).
+ */
+#define GENESYS_DCHECK_RANGE(val, lo, hi, what)                            \
+    do {                                                                   \
+        if (::genesys::checksEnabled()) {                                  \
+            const auto _gsy_v = (val);                                     \
+            if (!::genesys::detail::dcheckInRange(_gsy_v, (lo), (hi))) {   \
+                std::ostringstream _gsy_oss;                               \
+                _gsy_oss << "dcheck failed: " << what << ": " << _gsy_v    \
+                         << " outside [" << (lo) << ", " << (hi) << ")";   \
+                ::genesys::panic(_gsy_oss.str());                          \
+            }                                                              \
+        }                                                                  \
+    } while (0)
+
+#else // !GENESYS_CHECKED
+
+// Compiled out: the unevaluated sizeof keeps operands "used" so a
+// variable referenced only by a DCHECK does not warn under -Werror.
+#define GENESYS_DCHECK(cond, msg)                                          \
+    do {                                                                   \
+        (void)sizeof((cond) ? 1 : 0);                                      \
+    } while (0)
+
+#define GENESYS_DCHECK_RANGE(val, lo, hi, what)                            \
+    do {                                                                   \
+        (void)sizeof((val) == (val) ? (lo) : (hi));                        \
+    } while (0)
+
+#endif // GENESYS_CHECKED
+
+} // namespace genesys
+
+#endif // GENESYS_COMMON_CHECK_HH

@@ -16,6 +16,7 @@ namespace
  * and benches can silence inform()/warn() chatter without code
  * changes. -1 = not yet initialized.
  */
+// genesys-lint: allow(global-state, process-wide log level gates chatter only)
 std::atomic<int> currentLevel{-1};
 
 int

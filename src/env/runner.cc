@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "obs/tracer.hh"
 
@@ -237,6 +238,10 @@ evaluateBatched(const nn::CompiledPlan &plan,
                 if (sr.done) {
                     active[l] = 0;
                     --running;
+                    GENESYS_DCHECK_RANGE(wave + l, size_t{0},
+                                         detail.episodes.size(),
+                                         "evaluateBatched: episode slot"
+                                         " of finishing lane");
                     EpisodeResult &res =
                         detail.episodes[wave + l];
                     res.cumulativeReward =
@@ -412,6 +417,13 @@ evaluateWave(const std::vector<WaveItem> &items,
             if (scratch.item[l] < 0)
                 continue;
             const size_t idx = static_cast<size_t>(scratch.item[l]);
+            GENESYS_DCHECK_RANGE(idx, size_t{0}, items.size(),
+                                 "evaluateWave: lane bound to an item"
+                                 " index outside the wave");
+            GENESYS_DCHECK(scratch.executed[l],
+                           "evaluateWave: lane " << l << " reached the"
+                           " environment-step phase without a forward"
+                           " pass this superstep");
             StepResult sr = lanes[l]->step(
                 decodeAction(space, scratch.net[l].outputs));
             scratch.obs[l] = std::move(sr.observation);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/check.hh"
 #include "obs/tracer.hh"
 
 namespace genesys::exec
@@ -53,6 +54,13 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::drain(int worker)
 {
+    // Worker ids are dense: 0 is the caller, 1..threads_.size() the
+    // spawned workers. Telemetry timelines and per-worker scratch
+    // arrays are indexed by this id.
+    GENESYS_DCHECK(worker >= 0 && static_cast<std::size_t>(worker) <=
+                                      threads_.size(),
+                   "drain called with worker id " << worker << ", pool"
+                   " has " << threads_.size() + 1 << " workers");
     // jobCount_/jobBody_ are written under the mutex before jobId_
     // advances and read here after observing that advance (or, for
     // the caller, in its own posting frame), so the reads are ordered.
@@ -157,6 +165,10 @@ ThreadPool::parallelFor(std::size_t count,
     // racing the next job's state.)
     std::unique_lock<std::mutex> lock(mutex_);
     done_.wait(lock, [&] { return busyWorkers_ == 0; });
+    GENESYS_DCHECK(cursor_.load(std::memory_order_relaxed) >= count,
+                   "parallelFor returning with unclaimed items: cursor "
+                       << cursor_.load(std::memory_order_relaxed)
+                       << " < count " << count);
 }
 
 } // namespace genesys::exec

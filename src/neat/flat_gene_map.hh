@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace genesys::neat
@@ -289,6 +290,39 @@ class FlatGeneMap
     const Key &keyAt(std::size_t i) const { return keys_[i]; }
     const Gene &valueAt(std::size_t i) const { return values_[i]; }
     Gene &mutableValueAt(std::size_t i) { return values_[i]; }
+
+    /**
+     * Walk the full structure verifying the parallel-array invariant:
+     * keys_ strictly ascending, and (for gene types that embed their
+     * key) values_[i].key agreeing with keys_[i]. O(n), so DCHECK-only
+     * — a no-op unless this is a GENESYS_CHECKED build with checks
+     * enabled. `what` names the call site in the panic message.
+     */
+    void
+    dcheckInvariants(const char *what) const
+    {
+#ifdef GENESYS_CHECKED
+        if (!checksEnabled())
+            return;
+        GENESYS_DCHECK(keys_.size() == values_.size(),
+                       what << ": parallel arrays diverge (" << keys_.size()
+                            << " keys, " << values_.size() << " genes)");
+        for (std::size_t i = 0; i < keys_.size(); ++i) {
+            if (i + 1 < keys_.size()) {
+                GENESYS_DCHECK(keys_[i] < keys_[i + 1],
+                               what << ": keys not strictly ascending at"
+                                    << " index " << i);
+            }
+            if constexpr (requires(const Gene &g) { g.key == Key{}; }) {
+                GENESYS_DCHECK(values_[i].key == keys_[i],
+                               what << ": embedded gene key disagrees with"
+                                    << " sorted key array at index " << i);
+            }
+        }
+#else
+        (void)what;
+#endif
+    }
 
   private:
     std::size_t

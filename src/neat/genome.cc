@@ -152,6 +152,8 @@ Genome::crossover(int child_key, const Genome &parent1,
             },
             [](size_t) {});
     }
+    child.nodes_.dcheckInvariants("Genome::crossover nodes");
+    child.connections_.dcheckInvariants("Genome::crossover connections");
     return child;
 }
 
@@ -205,6 +207,8 @@ Genome::mutate(const NeatConfig &cfg, NodeIndexer &indexer, XorWow &rng)
         cg.mutate(cfg, rng);
         ++counts.perturbOps;
     }
+    nodes_.dcheckInvariants("Genome::mutate nodes");
+    connections_.dcheckInvariants("Genome::mutate connections");
     return counts;
 }
 

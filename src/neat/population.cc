@@ -4,17 +4,54 @@
 #include <chrono>
 #include <limits>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "obs/tracer.hh"
 
 namespace genesys::neat
 {
 
+namespace
+{
+
+/**
+ * Checked-build walk of the speciation result: every species member
+ * must name a live genome, and the species together must partition
+ * the population exactly (each genome in one and only one species).
+ */
+void
+dcheckSpeciesPartition(const SpeciesSet &species,
+                       const std::map<int, Genome> &population)
+{
+    if (!checksEnabled())
+        return;
+    size_t member_total = 0;
+    for (const auto &[sk, sp] : species.species()) {
+        member_total += sp.memberKeys.size();
+        for (int gk : sp.memberKeys) {
+            GENESYS_DCHECK(population.count(gk) == 1,
+                           "species " << sk << " holds member " << gk
+                                      << " with no genome in the"
+                                      << " population");
+        }
+    }
+    GENESYS_DCHECK(member_total == population.size(),
+                   "species membership covers "
+                       << member_total << " genomes, population holds "
+                       << population.size()
+                       << " (partition violated)");
+    GENESYS_DCHECK(!population.empty(),
+                   "population empty after reproduction");
+}
+
+} // namespace
+
 Population::Population(const NeatConfig &cfg, uint64_t seed)
     : cfg_(cfg), reproduction_(cfg_), speciesSet_(cfg_), rng_(seed)
 {
     population_ = reproduction_.createNewPopulation(rng_);
     speciesSet_.speciate(population_, generation_);
+    dcheckSpeciesPartition(speciesSet_, population_);
 }
 
 GenerationStats
@@ -176,6 +213,7 @@ Population::stepBatch(const BatchFitnessFn &fitness)
         obs::Span span("speciate", "phase", generation_);
         speciesSet_.speciate(population_, generation_);
     }
+    dcheckSpeciesPartition(speciesSet_, population_);
     lastPhases_.speciateSeconds = seconds_since(s0);
     return false;
 }

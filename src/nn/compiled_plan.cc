@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "neat/activations.hh"
 #include "neat/aggregations.hh"
@@ -308,6 +309,7 @@ CompiledPlan::compile(const Genome &genome, const NeatConfig &cfg,
             plan.outputSlot_[static_cast<size_t>(o)] =
                 s.slotOf[static_cast<size_t>(idx)];
     }
+    plan.dcheckCompiled("CompiledPlan::compile");
     return plan;
 }
 
@@ -439,7 +441,65 @@ CompiledPlan::compileRecurrent(const Genome &genome,
             plan.outputSlot_[static_cast<size_t>(o)] =
                 slot_of_vertex(idx);
     }
+    plan.dcheckCompiled("CompiledPlan::compileRecurrent");
     return plan;
+}
+
+void
+CompiledPlan::dcheckCompiled(const char *what) const
+{
+#ifdef GENESYS_CHECKED
+    if (!checksEnabled())
+        return;
+    const size_t n_nodes = nodeSlot_.size();
+    const auto slots = static_cast<size_t>(numSlots_);
+    GENESYS_DCHECK(edgeOffset_.size() == n_nodes + 1 &&
+                       edgeOffset_.front() == 0,
+                   what << ": CSR offset array must hold numNodes + 1"
+                        << " entries starting at 0");
+    GENESYS_DCHECK(edgeSrc_.size() == edgeWeight_.size() &&
+                       static_cast<size_t>(edgeOffset_.back()) ==
+                           edgeSrc_.size(),
+                   what << ": CSR edge arrays diverge from the final"
+                        << " offset");
+    for (size_t n = 0; n < n_nodes; ++n) {
+        GENESYS_DCHECK(edgeOffset_[n] <= edgeOffset_[n + 1],
+                       what << ": CSR offsets not monotone at node "
+                            << n);
+        GENESYS_DCHECK_RANGE(static_cast<size_t>(nodeSlot_[n]),
+                             static_cast<size_t>(numInputs_), slots,
+                             what << ": destination slot of node " << n);
+    }
+    for (size_t e = 0; e < edgeSrc_.size(); ++e) {
+        // -1 is the out-of-graph sentinel kept for non-Sum
+        // aggregations; anything else must be a readable slot.
+        GENESYS_DCHECK(edgeSrc_[e] == -1 ||
+                           (edgeSrc_[e] >= 0 &&
+                            static_cast<size_t>(edgeSrc_[e]) < slots),
+                       what << ": edge " << e << " reads slot "
+                            << edgeSrc_[e] << " outside [-1, "
+                            << numSlots_ << ")");
+    }
+    int32_t covered = 0;
+    for (const LayerSpan &span : layerSpans_) {
+        GENESYS_DCHECK(span.begin == covered && span.end >= span.begin,
+                       what << ": layer spans must tile [0, numNodes)"
+                            << " contiguously");
+        covered = span.end;
+    }
+    GENESYS_DCHECK(static_cast<size_t>(covered) == n_nodes,
+                   what << ": layer spans cover " << covered << " of "
+                        << n_nodes << " nodes");
+    for (size_t o = 0; o < outputSlot_.size(); ++o) {
+        GENESYS_DCHECK(outputSlot_[o] == -1 ||
+                           (outputSlot_[o] >= 0 &&
+                            static_cast<size_t>(outputSlot_[o]) < slots),
+                       what << ": output " << o << " reads slot "
+                            << outputSlot_[o]);
+    }
+#else
+    (void)what;
+#endif
 }
 
 CompiledPlan
@@ -703,6 +763,13 @@ CompiledPlan::activateBatchImpl(int lanes, const uint8_t *activeLanes,
                        "batch scratch not sized for this plan — call "
                        "beginBatch first");
     }
+    // The accumulator is the one buffer the size ASSERTs above do not
+    // cover; a caller that resized the lane buffers by hand instead of
+    // through beginBatch() would overrun it silently.
+    GENESYS_DCHECK(scratch.acc.size() >= L,
+                   "activateBatch: accumulator sized for "
+                       << scratch.acc.size() << " lanes, need " << L
+                       << " — call beginBatch first");
 
     // Read/write frames: feed-forward lanes read and write one values
     // array; recurrent lanes read the previous tick and write the

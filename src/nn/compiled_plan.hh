@@ -285,6 +285,15 @@ class CompiledPlan
     void activateBatchImpl(int lanes, const uint8_t *activeLanes,
                            BatchScratch &scratch) const;
 
+    /**
+     * Full post-compile structure walk (checked builds only): CSR
+     * edge offsets monotone and covering the edge arrays, every edge
+     * source and node/output slot inside [0, numSlots), layer spans
+     * contiguous and covering every node. Runs once per compile, so
+     * its O(edges) cost never touches the activate hot path.
+     */
+    void dcheckCompiled(const char *what) const;
+
     int numInputs_ = 0;
     int numOutputs_ = 0;
     int numSlots_ = 0;

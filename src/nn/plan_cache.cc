@@ -91,6 +91,8 @@ PlanCache::acquire(int genomeKey, const neat::Genome &genome,
     // allocation-free, and workers never contend on compile buffers.
     // compileFor dispatches on cfg.feedForward, so recurrent genomes
     // lower to recurrent plans under the same cache/carry-over rules.
+    // genesys-lint: allow(global-state, per-thread compile scratch) - keeps
+    // steady-state compiles allocation-free; holds no cross-compile data.
     thread_local CompileScratch compile_scratch;
     const auto c0 = std::chrono::steady_clock::now();
     std::shared_ptr<const CompiledPlan> plan;

@@ -9,6 +9,8 @@
 namespace genesys::obs
 {
 
+// genesys-lint: allow(global-state, null-sink singleton) - install and
+// uninstall are run-scoped and quiescent.
 std::atomic<MetricsRegistry *> MetricsRegistry::active_{nullptr};
 
 namespace

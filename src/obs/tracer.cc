@@ -3,12 +3,15 @@
 namespace genesys::obs
 {
 
+// genesys-lint: allow(global-state, null-sink singleton) - install and
+// uninstall are run-scoped and quiescent.
 std::atomic<Tracer *> Tracer::active_{nullptr};
 
 namespace
 {
 
 /** Monotonic source for Tracer::instanceId_. */
+// genesys-lint: allow(global-state, monotonic id source for buffer caching)
 std::atomic<uint64_t> nextInstanceId{1};
 
 /**
@@ -23,6 +26,8 @@ struct ThreadSlot
     uint64_t instanceId = 0;
     void *buffer = nullptr;
 };
+// genesys-lint: allow(global-state, wait-free per-thread buffer cache) -
+// keyed by instance id so stale tracers cannot revive.
 thread_local ThreadSlot tlSlot;
 
 /**
@@ -157,8 +162,12 @@ Tracer::nameCurrentThread(const char *prefix, int index)
     if (!buf.name.empty())
         return;
     buf.name = prefix;
-    if (index >= 0)
-        buf.name += "-" + std::to_string(index);
+    if (index >= 0) {
+        // Two separate appends: GCC 12's -Wrestrict misfires on the
+        // temporary from `"-" + std::to_string(index)` under -O2.
+        buf.name += '-';
+        buf.name += std::to_string(index);
+    }
 }
 
 size_t

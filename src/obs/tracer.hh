@@ -136,6 +136,7 @@ class Tracer
 
     void push(const TraceEvent &ev);
 
+    // genesys-lint: allow(global-state, see the definition in tracer.cc)
     static std::atomic<Tracer *> active_;
 
     std::chrono::steady_clock::time_point epoch_;

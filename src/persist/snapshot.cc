@@ -10,6 +10,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "neat/activations.hh"
 #include "neat/aggregations.hh"
@@ -221,6 +222,13 @@ class ByteReader
     void
     need(uint64_t n, const char *what)
     {
+        // The SnapshotError below is the user-facing bounds check; the
+        // DCHECK guards the reader's own cursor arithmetic (size_ -
+        // pos_ underflows if the cursor ever escapes the span).
+        GENESYS_DCHECK(pos_ <= size_,
+                       "ByteReader cursor " << pos_ << " escaped a "
+                                            << size_ << "-byte chunk ("
+                                            << context_ << ")");
         if (n > size_ - pos_) {
             throw SnapshotError("malformed snapshot: " + context_ +
                                 ": field \"" + what +
@@ -308,6 +316,12 @@ readGenome(ByteReader &r)
         cg.enabled = r.u8("connection enabled") != 0;
         g.mutableConnections().emplace(cg.key, cg);
     }
+    // A snapshot writer emits genes in ascending key order; emplace
+    // keeps whatever order arrives, so a tampered byte stream could
+    // otherwise smuggle in a gene whose embedded key disagrees with
+    // its sort position.
+    g.nodes().dcheckInvariants("persist::readGenome nodes");
+    g.connections().dcheckInvariants("persist::readGenome connections");
     return g;
 }
 

@@ -104,7 +104,7 @@ allPlatforms()
 const std::string &
 platformName(PlatformId id)
 {
-    static std::array<std::string, 8> names = [] {
+    static const std::array<std::string, 8> names = [] {
         std::array<std::string, 8> n;
         for (size_t i = 0; i < costs.size(); ++i)
             n[i] = costs[i].name;
@@ -116,7 +116,7 @@ platformName(PlatformId id)
 const std::string &
 platformDevice(PlatformId id)
 {
-    static std::array<std::string, 8> v = [] {
+    static const std::array<std::string, 8> v = [] {
         std::array<std::string, 8> n;
         for (size_t i = 0; i < costs.size(); ++i)
             n[i] = costs[i].device;
@@ -128,7 +128,7 @@ platformDevice(PlatformId id)
 const std::string &
 platformInferenceStrategy(PlatformId id)
 {
-    static std::array<std::string, 8> v = [] {
+    static const std::array<std::string, 8> v = [] {
         std::array<std::string, 8> n;
         for (size_t i = 0; i < costs.size(); ++i)
             n[i] = costs[i].inferenceStrategy;
@@ -140,7 +140,7 @@ platformInferenceStrategy(PlatformId id)
 const std::string &
 platformEvolutionStrategy(PlatformId id)
 {
-    static std::array<std::string, 8> v = [] {
+    static const std::array<std::string, 8> v = [] {
         std::array<std::string, 8> n;
         for (size_t i = 0; i < costs.size(); ++i)
             n[i] = costs[i].evolutionStrategy;

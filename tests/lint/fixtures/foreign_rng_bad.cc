@@ -1,0 +1,18 @@
+// Fixture: every banned randomness source, one per line.
+#include <cstdlib>
+#include <random>
+
+namespace genesys::neat
+{
+
+double
+randomWeight()
+{
+    std::mt19937 gen(42);                      // finding: foreign-rng
+    std::random_device rd;                     // finding: foreign-rng
+    srand(7);                                  // finding: foreign-rng
+    return static_cast<double>(rand()) /       // finding: foreign-rng
+           static_cast<double>(RAND_MAX);
+}
+
+} // namespace genesys::neat

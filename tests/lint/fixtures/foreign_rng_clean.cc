@@ -1,0 +1,22 @@
+// Fixture: XorWow-only randomness, plus near-misses that must not
+// trigger: "strand(" contains "rand(", and prose mentioning rand() in
+// a comment or string.
+#include "common/rng.hh"
+
+#include <string>
+
+namespace genesys::neat
+{
+
+double strand(int) { return 0.0; }
+
+double
+randomWeight(XorWow &rng)
+{
+    // rand() in a comment is fine.
+    const std::string msg = "never calls rand() at runtime";
+    (void)msg;
+    return rng.uniform() + strand(3);
+}
+
+} // namespace genesys::neat

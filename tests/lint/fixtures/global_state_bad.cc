@@ -1,0 +1,21 @@
+// Fixture: unannotated mutable static-storage state, three flavors.
+#include <atomic>
+
+namespace genesys::core
+{
+
+std::atomic<long> totalSteps{0}; // finding: global-state
+
+static int generationCounter = 0; // finding: global-state
+
+thread_local double lastFitness = 0.0; // finding: global-state
+
+long
+bump()
+{
+    ++generationCounter;
+    lastFitness += 1.0;
+    return totalSteps.fetch_add(1);
+}
+
+} // namespace genesys::core

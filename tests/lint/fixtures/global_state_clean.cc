@@ -1,0 +1,28 @@
+// Fixture: immutable statics need no annotation; intentional mutable
+// global state carries a genesys-lint allow() with a reason.
+#include <atomic>
+#include <string>
+
+namespace genesys::core
+{
+
+static const int kMaxSpecies = 64;
+static constexpr double kEpsilon = 1e-9;
+
+// genesys-lint: allow(global-state, run-scoped singleton for the test)
+std::atomic<long> totalSteps{0};
+
+thread_local int scratchSlot = 0; // genesys-lint: allow(global-state, per-thread scratch for the test)
+
+static std::string describe(int key);
+
+long
+bump()
+{
+    (void)kMaxSpecies;
+    (void)kEpsilon;
+    (void)scratchSlot;
+    return totalSteps.fetch_add(1);
+}
+
+} // namespace genesys::core

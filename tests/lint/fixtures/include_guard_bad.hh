@@ -1,0 +1,13 @@
+// finding: include-guard (anchors on line 1: no guard in this header)
+// Fixture: header with no include guard at all.
+#include <vector>
+
+namespace genesys::core
+{
+
+struct Unguarded
+{
+    std::vector<int> keys;
+};
+
+} // namespace genesys::core

@@ -1,0 +1,16 @@
+// Fixture: classic #ifndef/#define guard (the project style); the
+// harness also accepts #pragma once.
+#ifndef GENESYS_TESTS_LINT_GUARD_CLEAN_HH
+#define GENESYS_TESTS_LINT_GUARD_CLEAN_HH
+
+namespace genesys::core
+{
+
+struct Guarded
+{
+    int key = 0;
+};
+
+} // namespace genesys::core
+
+#endif // GENESYS_TESTS_LINT_GUARD_CLEAN_HH

@@ -1,0 +1,21 @@
+// Fixture: node-per-gene std::map storage reintroduced in src/neat/
+// — exactly the PR-3 regression the rule guards against.
+#ifndef GENESYS_TESTS_LINT_MAP_GENES_BAD_HH
+#define GENESYS_TESTS_LINT_MAP_GENES_BAD_HH
+
+#include <map>
+
+#include "neat/gene.hh"
+
+namespace genesys::neat
+{
+
+struct SlowGenome
+{
+    std::map<int, NodeGene> nodes;           // finding: map-gene-storage
+    std::map<ConnKey, ConnectionGene> conns; // finding: map-gene-storage
+};
+
+} // namespace genesys::neat
+
+#endif // GENESYS_TESTS_LINT_MAP_GENES_BAD_HH

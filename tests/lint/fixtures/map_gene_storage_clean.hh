@@ -1,0 +1,24 @@
+// Fixture: flat SoA gene storage plus the std::map uses that remain
+// legitimate in src/neat/ (small per-generation bookkeeping keyed by
+// species/genome id, not per-gene containers).
+#ifndef GENESYS_TESTS_LINT_MAP_GENES_CLEAN_HH
+#define GENESYS_TESTS_LINT_MAP_GENES_CLEAN_HH
+
+#include <map>
+
+#include "neat/flat_gene_map.hh"
+#include "neat/gene.hh"
+
+namespace genesys::neat
+{
+
+struct FastGenome
+{
+    FlatGeneMap<int, NodeGene> nodes;
+    FlatGeneMap<ConnKey, ConnectionGene> conns;
+    std::map<int, double> spawnBydSpecies; // bookkeeping, not genes
+};
+
+} // namespace genesys::neat
+
+#endif // GENESYS_TESTS_LINT_MAP_GENES_CLEAN_HH

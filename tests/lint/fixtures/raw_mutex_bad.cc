@@ -1,0 +1,19 @@
+// Fixture: manual mutex management — an exception between lock() and
+// unlock() leaks the mutex.
+#include <mutex>
+
+namespace genesys::exec
+{
+
+std::mutex &poolMutex();
+void advance();
+
+void
+unsafeCriticalSection()
+{
+    poolMutex().lock(); // finding: raw-mutex
+    advance();
+    poolMutex().unlock(); // finding: raw-mutex
+}
+
+} // namespace genesys::exec

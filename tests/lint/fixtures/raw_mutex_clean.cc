@@ -1,0 +1,24 @@
+// Fixture: RAII guards only.
+#include <mutex>
+
+namespace genesys::exec
+{
+
+std::mutex &poolMutex();
+void advance();
+
+void
+safeCriticalSection()
+{
+    std::lock_guard<std::mutex> lock(poolMutex());
+    advance();
+}
+
+void
+safeWaitSection(std::condition_variable_any &cv, bool &ready)
+{
+    std::unique_lock<std::mutex> lock(poolMutex());
+    cv.wait(lock, [&] { return ready; });
+}
+
+} // namespace genesys::exec

@@ -1,0 +1,17 @@
+// Fixture: raw stdio in library code (scanned as src/hw/...).
+#include <cstdio>
+#include <iostream>
+
+namespace genesys::hw
+{
+
+void
+reportCycles(long cycles)
+{
+    std::cout << "cycles: " << cycles << "\n"; // finding: raw-stdio
+    std::cerr << "warning\n";                  // finding: raw-stdio
+    printf("cycles: %ld\n", cycles);           // finding: raw-stdio
+    fprintf(stderr, "warning\n");              // finding: raw-stdio
+}
+
+} // namespace genesys::hw

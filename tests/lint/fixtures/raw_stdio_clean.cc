@@ -1,0 +1,18 @@
+// Fixture: output routed through common/logging; a caller-provided
+// ostream is fine too (the caller chooses the sink).
+#include <ostream>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace genesys::hw
+{
+
+void
+reportCycles(std::ostream &os, long cycles)
+{
+    os << "cycles: " << cycles << "\n";
+    inform("cycles: " + std::to_string(cycles));
+}
+
+} // namespace genesys::hw

@@ -1,0 +1,19 @@
+// Fixture: ad-hoc threads outside exec::ThreadPool.
+#include <future>
+#include <thread>
+
+namespace genesys::core
+{
+
+void work();
+
+void
+spawnWorkers()
+{
+    std::thread t(work); // finding: thread-spawn
+    t.detach();          // finding: thread-spawn
+    auto f = std::async(std::launch::async, work); // finding: thread-spawn
+    f.wait();
+}
+
+} // namespace genesys::core

@@ -1,0 +1,17 @@
+// Fixture: parallelism through the pool primitive.
+#include "exec/thread_pool.hh"
+
+namespace genesys::core
+{
+
+void workOn(std::size_t item, int worker);
+
+void
+spawnWorkers(exec::ThreadPool &pool, std::size_t count)
+{
+    pool.parallelFor(count, [](std::size_t item, int worker) {
+        workOn(item, worker);
+    });
+}
+
+} // namespace genesys::core

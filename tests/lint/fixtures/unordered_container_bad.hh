@@ -1,0 +1,19 @@
+// Fixture: unordered containers in digest-relevant code.
+#ifndef GENESYS_TESTS_LINT_UNORDERED_BAD_HH
+#define GENESYS_TESTS_LINT_UNORDERED_BAD_HH
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace genesys::core
+{
+
+struct SpeciesIndex
+{
+    std::unordered_map<int, double> fitnessByKey; // finding: unordered-container
+    std::unordered_set<int> memberKeys; // finding: unordered-container
+};
+
+} // namespace genesys::core
+
+#endif // GENESYS_TESTS_LINT_UNORDERED_BAD_HH

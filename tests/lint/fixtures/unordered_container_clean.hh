@@ -1,0 +1,19 @@
+// Fixture: deterministic-iteration containers only.
+#ifndef GENESYS_TESTS_LINT_UNORDERED_CLEAN_HH
+#define GENESYS_TESTS_LINT_UNORDERED_CLEAN_HH
+
+#include <map>
+#include <vector>
+
+namespace genesys::core
+{
+
+struct SpeciesIndex
+{
+    std::map<int, double> fitnessByKey;
+    std::vector<int> sortedMemberKeys;
+};
+
+} // namespace genesys::core
+
+#endif // GENESYS_TESTS_LINT_UNORDERED_CLEAN_HH

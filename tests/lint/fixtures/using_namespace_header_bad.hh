@@ -1,0 +1,16 @@
+// Fixture: using-namespace in a header.
+#ifndef GENESYS_TESTS_LINT_USING_NS_BAD_HH
+#define GENESYS_TESTS_LINT_USING_NS_BAD_HH
+
+#include <vector>
+
+using namespace std; // finding: using-namespace-header
+
+namespace genesys::core
+{
+
+using namespace genesys::neat; // finding: using-namespace-header
+
+} // namespace genesys::core
+
+#endif // GENESYS_TESTS_LINT_USING_NS_BAD_HH

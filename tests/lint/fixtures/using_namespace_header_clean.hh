@@ -1,0 +1,19 @@
+// Fixture: qualified names and using-declarations (not directives)
+// are fine in headers.
+#ifndef GENESYS_TESTS_LINT_USING_NS_CLEAN_HH
+#define GENESYS_TESTS_LINT_USING_NS_CLEAN_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace genesys::core
+{
+
+using GenomeKey = int;
+using std::uint64_t;
+
+std::vector<GenomeKey> sortedKeys();
+
+} // namespace genesys::core
+
+#endif // GENESYS_TESTS_LINT_USING_NS_CLEAN_HH

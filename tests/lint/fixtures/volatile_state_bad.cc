@@ -1,0 +1,15 @@
+// Fixture: volatile used as a (broken) synchronization primitive.
+namespace genesys::exec
+{
+
+// genesys-lint: allow(global-state, fixture isolates the volatile rule)
+volatile bool stopRequested = false; // finding: volatile-state
+
+void
+requestStop(volatile int *flag) // finding: volatile-state
+{
+    *flag = 1;
+    stopRequested = true;
+}
+
+} // namespace genesys::exec

@@ -1,0 +1,16 @@
+// Fixture: std::atomic with explicit ordering.
+#include <atomic>
+
+namespace genesys::exec
+{
+
+// genesys-lint: allow(global-state, fixture isolates the volatile rule)
+std::atomic<bool> stopRequested{false};
+
+void
+requestStop()
+{
+    stopRequested.store(true, std::memory_order_release);
+}
+
+} // namespace genesys::exec

@@ -1,0 +1,18 @@
+// Fixture: clock reads in evolution/fitness code (scanned as
+// src/env/..., which is not in the timing allowlist).
+#include <chrono>
+#include <ctime>
+
+namespace genesys::env
+{
+
+double
+episodeFitnessWithTimeBonus(double base)
+{
+    const auto t0 = std::chrono::steady_clock::now(); // finding: wall-clock
+    const std::time_t wall = time(nullptr);           // finding: wall-clock
+    (void)t0;
+    return base + static_cast<double>(wall % 2);
+}
+
+} // namespace genesys::env

@@ -1,0 +1,17 @@
+// Fixture: the same clock reads are legitimate here because the file
+// is scanned as src/obs/... — the telemetry allowlist.
+#include <chrono>
+
+namespace genesys::obs
+{
+
+uint64_t
+spanStartNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace genesys::obs

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Proof that the GENESYS_DCHECK layer actually fires.
+ *
+ * A debug-check layer that silently never triggers is worse than
+ * none, so this suite corrupts real structures and expects the
+ * checked build to panic: a FlatGeneMap whose embedded gene key
+ * disagrees with the sorted key array, and a batched plan driven with
+ * a hand-shrunk accumulator the size ASSERTs cannot see. In an
+ * unchecked build the same corruptions must go unnoticed (the macros
+ * compile out), which doubles as the zero-overhead-contract test —
+ * those cases run instead of skipping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "common/check.hh"
+#include "common/rng.hh"
+#include "neat/flat_gene_map.hh"
+#include "neat/gene.hh"
+#include "nn/compiled_plan.hh"
+
+using namespace genesys;
+using namespace genesys::neat;
+using namespace genesys::nn;
+
+namespace
+{
+
+FlatGeneMap<int, NodeGene>
+threeNodes()
+{
+    FlatGeneMap<int, NodeGene> map;
+    for (int k : {1, 5, 9}) {
+        NodeGene ng;
+        ng.key = k;
+        map.emplace(k, ng);
+    }
+    return map;
+}
+
+/** A small compiled plan plus config, shared by the batch tests. */
+struct PlanFixture
+{
+    NeatConfig cfg;
+    Genome genome{0};
+    CompiledPlan plan;
+
+    PlanFixture()
+    {
+        cfg.numInputs = 3;
+        cfg.numOutputs = 2;
+        cfg.initialConnection = InitialConnection::FullDirect;
+        NodeIndexer indexer(cfg.numOutputs);
+        XorWow rng(0x5eedULL);
+        genome = Genome::createNew(0, cfg, indexer, rng);
+        plan = CompiledPlan::compile(genome, cfg);
+    }
+};
+
+} // namespace
+
+TEST(CheckedInvariants, IntactGeneMapPasses)
+{
+    threeNodes().dcheckInvariants("intact map");
+}
+
+TEST(CheckedInvariants, CorruptedEmbeddedGeneKeyPanics)
+{
+    FlatGeneMap<int, NodeGene> map = threeNodes();
+    // Desynchronize the embedded key from the sorted key array — the
+    // corruption mutableValues() callers are trusted never to commit.
+    map.mutableValueAt(1).key = 99;
+    // checksEnabled(), not checkedBuild(): a checked build run with
+    // GENESYS_CHECKED=0 in the environment must behave like release.
+    if (!checksEnabled()) {
+        // Macros compile out (or are toggled off): the corruption
+        // must go unnoticed.
+        map.dcheckInvariants("checks disabled");
+        return;
+    }
+    EXPECT_THROW(map.dcheckInvariants("corrupted map"),
+                 std::logic_error);
+}
+
+TEST(CheckedInvariants, MisSizedBatchAccumulatorPanics)
+{
+    PlanFixture fx;
+    BatchScratch scratch;
+    fx.plan.beginBatch(4, scratch);
+    const std::vector<uint8_t> active(4, 1);
+    // Shrink the one buffer activateBatch's always-on size ASSERTs do
+    // not cover; only the DCHECK stands between this and an overrun.
+    scratch.acc.resize(2);
+    if (!checksEnabled()) {
+        GTEST_SKIP() << "accumulator overrun is only caught (and only "
+                        "safe to provoke) with GENESYS_CHECKED "
+                        "compiled in and enabled";
+    }
+    EXPECT_THROW(
+        fx.plan.activateBatch(4, active.data(), scratch),
+        std::logic_error);
+}
+
+TEST(CheckedInvariants, WellFormedBatchPasses)
+{
+    PlanFixture fx;
+    BatchScratch scratch;
+    fx.plan.beginBatch(4, scratch);
+    const std::vector<uint8_t> active(4, 1);
+    fx.plan.activateBatch(4, active.data(), scratch);
+    EXPECT_EQ(scratch.outputs.size(), fx.plan.numOutputs() * 4);
+}
+
+TEST(CheckedInvariants, MutateAndCrossoverKeepInvariants)
+{
+    // The production DCHECK sites in Genome::mutate/crossover must
+    // pass on healthy genomes — checked-build digests stay identical
+    // because checks observe, never mutate.
+    NeatConfig cfg;
+    cfg.numInputs = 2;
+    cfg.numOutputs = 1;
+    cfg.initialConnection = InitialConnection::FullDirect;
+    NodeIndexer indexer(cfg.numOutputs);
+    XorWow rng(0xabcdULL);
+    Genome a = Genome::createNew(1, cfg, indexer, rng);
+    Genome b = Genome::createNew(2, cfg, indexer, rng);
+    for (int i = 0; i < 50; ++i) {
+        a.mutate(cfg, indexer, rng);
+        b.mutate(cfg, indexer, rng);
+    }
+    Genome child = Genome::crossover(3, a, b, rng, nullptr);
+    child.nodes().dcheckInvariants("crossover child nodes");
+    child.connections().dcheckInvariants("crossover child conns");
+}
+
+TEST(CheckedInvariants, BuildFlagAndEnvToggleAgree)
+{
+#ifdef GENESYS_CHECKED
+    EXPECT_TRUE(checkedBuild());
+    // checksEnabled() honors the GENESYS_CHECKED env var; under the
+    // test harness it is unset, so checks default on.
+    if (getenv("GENESYS_CHECKED") == nullptr) {
+        EXPECT_TRUE(checksEnabled());
+    }
+#else
+    EXPECT_FALSE(checkedBuild());
+    EXPECT_FALSE(checksEnabled());
+#endif
+}

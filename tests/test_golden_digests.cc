@@ -35,6 +35,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <bit>
 #include <cstdint>
 #include <cstdlib>
@@ -138,8 +140,11 @@ digestResumedRun(const std::string &envName, bool feed_forward,
 {
     namespace fs = std::filesystem;
     std::ostringstream dn;
+    // PID-qualified so two suite processes on one machine (e.g. two
+    // build trees' ctest runs) never share a checkpoint directory.
     dn << "genesys-golden-ckpt-" << envName
-       << (feed_forward ? "-ff-" : "-rec-") << threads;
+       << (feed_forward ? "-ff-" : "-rec-") << threads << '-'
+       << ::getpid();
     const fs::path dir = fs::temp_directory_path() / dn.str();
     fs::remove_all(dir);
 
