@@ -28,14 +28,6 @@ main(int argc, char **argv)
 {
     using namespace genesys;
 
-    // Self-identifying log header: which correctness tooling this
-    // binary carries (GENESYS_CHECKED build flag + env toggle, and
-    // the sanitizer it was compiled under, if any).
-    std::cout << "build: checked="
-              << (checkedBuild() ? (checksEnabled() ? "on" : "built-but-off")
-                                 : "off")
-              << " sanitizer=" << sanitizerName() << "\n";
-
     core::SystemConfig cfg;
     cfg.envName = "CartPole_v0";
     cfg.maxGenerations =
@@ -46,6 +38,17 @@ main(int argc, char **argv)
     cfg.numThreads = 0;
 
     core::System sys(cfg);
+
+    // Self-identifying log header: which correctness tooling this
+    // binary carries (GENESYS_CHECKED build flag + env toggle, the
+    // sanitizer it was compiled under, if any) and the numerics tier
+    // the run resolved (config + GENESYS_NUMERICS override).
+    std::cout << "build: checked="
+              << (checkedBuild() ? (checksEnabled() ? "on" : "built-but-off")
+                                 : "off")
+              << " sanitizer=" << sanitizerName()
+              << " numerics=" << nn::numericsTierName(sys.numericsTier())
+              << "\n";
     if (argc > 3)
         sys.resumeFrom(argv[3]);
     core::RunSummary summary = sys.run();

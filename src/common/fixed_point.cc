@@ -48,6 +48,17 @@ FixedPointCodec::encode(double v) const
     return static_cast<uint16_t>(raw & ((1 << bits()) - 1));
 }
 
+FixedPointQuantizer
+FixedPointCodec::quantizer() const
+{
+    FixedPointQuantizer q;
+    q.invScale = resolution();
+    q.scale = std::ldexp(1.0, fracBits_); // exact reciprocal
+    q.minRaw = static_cast<double>(-(1 << (bits() - 1)));
+    q.maxRaw = static_cast<double>((1 << (bits() - 1)) - 1);
+    return q;
+}
+
 double
 FixedPointCodec::decode(uint16_t raw) const
 {

@@ -11,10 +11,44 @@
 #ifndef GENESYS_COMMON_FIXED_POINT_HH
 #define GENESYS_COMMON_FIXED_POINT_HH
 
+#include <algorithm>
 #include <cstdint>
 
 namespace genesys
 {
+
+/**
+ * Branch-free saturate-and-quantize in the value domain — the inner-
+ * loop form of FixedPointCodec::quantize for per-node "Limit &
+ * Quantize" in the HwFaithful evaluation tier. All four members are
+ * plain doubles so the whole operator body compiles to straight-line
+ * mul/round/min/max/mul vector code inside a lane loop (no libm
+ * lround call, no integer round trip).
+ *
+ * Rounding: nearest, ties to even via the 1.5*2^52 magic-constant
+ * trick (exact for |scaled| < 2^51; larger magnitudes pass through
+ * unrounded and saturate at the clamp). FixedPointCodec::encode uses
+ * lround (ties away from zero), so the two agree everywhere except
+ * exact half-resolution ties; already-on-grid values round trip
+ * unchanged through both. The final `+ 0.0` normalizes -0.0 to +0.0
+ * so a quantized zero always carries the same bit pattern decode()
+ * produces — the digests fold raw bits.
+ */
+struct FixedPointQuantizer
+{
+    double scale = 1.0;    ///< 1 / resolution
+    double invScale = 1.0; ///< resolution
+    double minRaw = 0.0;   ///< smallest raw code, as a double
+    double maxRaw = 0.0;   ///< largest raw code, as a double
+
+    double operator()(double v) const
+    {
+        constexpr double magic = 6755399441055744.0; // 1.5 * 2^52
+        double raw = (v * scale + magic) - magic;
+        raw = std::min(std::max(raw, minRaw), maxRaw);
+        return raw * invScale + 0.0;
+    }
+};
 
 /**
  * Signed fixed-point codec with `intBits` integer bits (including
@@ -44,6 +78,15 @@ class FixedPointCodec
 
     /** Saturate-then-quantize in the value domain (decode(encode(v))). */
     double quantize(double v) const { return decode(encode(v)); }
+
+    /**
+     * The branch-free hot-loop quantizer for this format (see
+     * FixedPointQuantizer for the tie-convention caveat). Idempotent
+     * over every decodable value: quantizer()(decode(raw)) ==
+     * decode(raw) for all raw codes — pinned exhaustively in
+     * tests/test_fixed_point.cc.
+     */
+    FixedPointQuantizer quantizer() const;
 
   private:
     int intBits_;

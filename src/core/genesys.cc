@@ -74,9 +74,14 @@ System::System(SystemConfig cfg)
     ecfg.batchEpisodes = cfg_.batchEpisodes;
     ecfg.heterogeneousLanes = cfg_.heterogeneousLanes;
     ecfg.waveLanes = cfg_.waveLanes;
+    ecfg.numericsTier = cfg_.numericsTier;
     // CI test-matrix hook: GENESYS_EVAL_MODE pins the execution mode
     // for every System-level consumer (all modes are bit-identical).
     exec::applyEvalModeFromEnv(ecfg);
+    // GENESYS_NUMERICS likewise pins the numerics tier; the resolved
+    // tier is kept for replay and snapshot provenance.
+    exec::applyNumericsFromEnv(ecfg);
+    numericsTier_ = ecfg.numericsTier;
     engine_ = std::make_unique<exec::EvalEngine>(std::move(ecfg));
 }
 
@@ -268,6 +273,7 @@ System::writeCheckpoint()
     snap.numInputs = neatCfg_.numInputs;
     snap.numOutputs = neatCfg_.numOutputs;
     snap.feedForward = neatCfg_.feedForward;
+    snap.numericsTier = numericsTier_;
     snap.population = population_->capture();
     if (const auto *reg = obs::MetricsRegistry::active())
         snap.counters = reg->counterSnapshot();
@@ -311,6 +317,10 @@ System::resumeFrom(const std::string &path)
     if (snap.feedForward != neatCfg_.feedForward)
         mismatch("feed-forward flag", snap.feedForward,
                  neatCfg_.feedForward);
+    if (snap.numericsTier != numericsTier_)
+        mismatch("numerics tier",
+                 nn::numericsTierName(snap.numericsTier),
+                 nn::numericsTierName(numericsTier_));
 
     // Validated end to end — apply atomically.
     population_->restore(std::move(snap.population));
@@ -346,9 +356,10 @@ System::replayBest(uint64_t seed)
 {
     GENESYS_ASSERT(population_->hasBest(), "no best genome yet");
     obs::Span span("replay_best", "phase");
-    // compileFor: recurrent configs replay through a recurrent plan.
+    // compileFor: recurrent configs replay through a recurrent plan,
+    // under the same numerics tier the run evaluated with.
     const auto plan = nn::CompiledPlan::compileFor(
-        population_->bestGenome(), neatCfg_);
+        population_->bestGenome(), neatCfg_, numericsTier_);
     nn::PlanScratch scratch;
     env::EpisodeRunner runner(*env_, seed, 1);
     return runner.runEpisode(plan, scratch, seed);

@@ -59,6 +59,17 @@ struct SystemConfig
     bool heterogeneousLanes = true;
     /** Wave-shard lane width per worker (0 = engine default). */
     int waveLanes = 0;
+    /**
+     * Numerics tier for every compiled plan in the run (see
+     * nn/numerics.hh): Reference is the bit-identical float golden
+     * path; HwFaithful quantizes weights/bias/response and every node
+     * activation through the Q6.10 gene format with branch-free
+     * approximation kernels — the datapath the GeneSys silicon runs.
+     * The GENESYS_NUMERICS environment variable ("reference", "hw")
+     * overrides this knob (exec::applyNumericsFromEnv); the resolved
+     * tier is recorded in checkpoints and must match on resume.
+     */
+    nn::NumericsTier numericsTier = nn::NumericsTier::Reference;
     /** Simulate the SoC alongside the algorithm? */
     bool simulateHardware = true;
     hw::SocParams soc{};
@@ -197,6 +208,8 @@ class System
     const exec::EvalEngine &evalEngine() const { return *engine_; }
     /** The run's telemetry session (disabled unless configured). */
     const obs::Telemetry &telemetry() const { return *telemetry_; }
+    /** The resolved numerics tier (config + GENESYS_NUMERICS). */
+    nn::NumericsTier numericsTier() const { return numericsTier_; }
 
     /** Replay the current best genome; returns its episode fitness. */
     env::EpisodeResult replayBest(uint64_t seed);
@@ -237,6 +250,8 @@ class System
     hw::GenesysSoc soc_;
     std::vector<GenerationReport> reports_;
     bool solved_ = false;
+    /** Resolved once in the constructor; used by replay + snapshots. */
+    nn::NumericsTier numericsTier_ = nn::NumericsTier::Reference;
 };
 
 } // namespace genesys::core

@@ -87,6 +87,15 @@ applyEvalModeFromEnv(EvalEngineConfig &cfg)
     }
 }
 
+void
+applyNumericsFromEnv(EvalEngineConfig &cfg)
+{
+    const char *tier = std::getenv("GENESYS_NUMERICS");
+    if (tier == nullptr || *tier == '\0')
+        return;
+    cfg.numericsTier = nn::numericsTierFromName(tier);
+}
+
 uint64_t
 EvalEngine::mixSeed(uint64_t base, uint64_t genomeKey, uint64_t episode)
 {
@@ -251,7 +260,8 @@ EvalEngine::evaluateGeneration(const std::vector<neat::GenomeHandle> &batch,
 
                 GenomeEvalResult &out = results[i];
                 out.genomeKey = h.key;
-                out.plan = planCache_.acquire(h.key, *h.genome, cfg);
+                out.plan = planCache_.acquire(h.key, *h.genome, cfg,
+                                              cfg_.numericsTier);
                 if (cfg_.batchEpisodes) {
                     out.detail = env::evaluateBatched(
                         *out.plan, seeds, envs_.shard(worker),
@@ -359,7 +369,8 @@ EvalEngine::evaluateWaves(const std::vector<neat::GenomeHandle> &batch,
     runParallel(batch.size(), [&](std::size_t i, int) {
         const neat::GenomeHandle &h = batch[i];
         results[i].genomeKey = h.key;
-        results[i].plan = planCache_.acquire(h.key, *h.genome, cfg);
+        results[i].plan = planCache_.acquire(h.key, *h.genome, cfg,
+                                             cfg_.numericsTier);
     });
 
     // Phase 2 — rolling waves. The batch splits into contiguous

@@ -160,6 +160,14 @@ struct EvalEngineConfig
      * Resolved to 1 when the wave path is inactive.
      */
     int waveLanes = 0;
+    /**
+     * Numerics tier every genome compiles under (see nn/numerics.hh):
+     * Reference is the bit-identical float path; HwFaithful quantizes
+     * attributes and activations through the Q6.10 gene format and
+     * runs the branch-free approximation kernels. Tiers are distinct
+     * numerics by design — digests match within a tier, not across.
+     */
+    nn::NumericsTier numericsTier = nn::NumericsTier::Reference;
 };
 
 /**
@@ -174,6 +182,17 @@ struct EvalEngineConfig
  * path. All three modes are bit-identical by contract.
  */
 void applyEvalModeFromEnv(EvalEngineConfig &cfg);
+
+/**
+ * Apply the GENESYS_NUMERICS environment variable to `cfg`:
+ * "reference" selects the float tier, "hw" the hardware-faithful
+ * fixed-point tier. Unset (or empty) leaves `cfg` untouched; anything
+ * else is a fatal configuration error. Like GENESYS_EVAL_MODE this is
+ * a CI matrix hook — core::System applies it on top of SystemConfig —
+ * but unlike the eval modes the tiers are *not* bit-identical to each
+ * other, so digest-pinning tests must set the tier explicitly.
+ */
+void applyNumericsFromEnv(EvalEngineConfig &cfg);
 
 /**
  * Persistent batch evaluator: construct once per run, submit one

@@ -1,3 +1,11 @@
+// The reference-activation translation unit: these libm formulas are
+// the golden reference the HwFaithful tier's branch-free
+// approximations (src/nn/hw_activations.hh) mirror and are measured
+// against. genesys-lint's libm-in-hot-path rule bans raw libm
+// transcendentals under src/nn/ — this file, outside that scope, is
+// their one sanctioned home; keep any formula change mirrored in the
+// hw functors and re-bounded in tests/test_numerics_divergence.cc.
+
 #include "neat/activations.hh"
 
 #include <algorithm>

@@ -3,15 +3,33 @@
 #include <algorithm>
 
 #include "common/check.hh"
+#include "common/fixed_point.hh"
 #include "common/logging.hh"
 #include "neat/activations.hh"
 #include "neat/aggregations.hh"
+#include "nn/hw_activations.hh"
 
 namespace genesys::nn
 {
 
 namespace
 {
+
+/** The HwFaithful per-node Limit & Quantize stage (Q6.10). */
+constexpr FixedPointQuantizer kHwQuantizer = hwact::hwQuantizer();
+
+/**
+ * Compile-time attribute quantization for the HwFaithful lowering:
+ * bias/response/weight pass through the same Q6.10 codec the gene
+ * wire format uses, so a plan executes exactly the values the
+ * hardware's Genome Buffer would hold. Reference plans copy
+ * attributes untouched.
+ */
+double
+lowerAttr(double v, NumericsTier tier, const FixedPointCodec &codec)
+{
+    return tier == NumericsTier::HwFaithful ? codec.quantize(v) : v;
+}
 
 /**
  * Key compression shared by both lowerings. Index space: inputs
@@ -96,11 +114,13 @@ indexOf(const CompileScratch &s, int num_inputs, int key)
  */
 CompiledPlan
 CompiledPlan::compile(const Genome &genome, const NeatConfig &cfg,
-                      CompileScratch &s)
+                      CompileScratch &s, NumericsTier tier)
 {
     CompiledPlan plan;
+    plan.tier_ = tier;
     plan.numInputs_ = cfg.numInputs;
     plan.numOutputs_ = cfg.numOutputs;
+    const FixedPointCodec codec(kHwIntBits, kHwFracBits);
 
     const int num_inputs = cfg.numInputs;
     compressKeys(genome, num_inputs, s);
@@ -268,8 +288,8 @@ CompiledPlan::compile(const Genome &genome, const NeatConfig &cfg,
                                << " missing gene");
             plan.activation_.push_back(ng->activation);
             plan.aggregation_.push_back(ng->aggregation);
-            plan.bias_.push_back(ng->bias);
-            plan.response_.push_back(ng->response);
+            plan.bias_.push_back(lowerAttr(ng->bias, tier, codec));
+            plan.response_.push_back(lowerAttr(ng->response, tier, codec));
             plan.nodeSlot_.push_back(s.slotOf[static_cast<size_t>(idx)]);
 
             for (int32_t e = s.inOff[static_cast<size_t>(idx)];
@@ -284,7 +304,8 @@ CompiledPlan::compile(const Genome &genome, const NeatConfig &cfg,
                     ng->aggregation == neat::Aggregation::Sum)
                     continue; // see edgeSrc_ docs
                 plan.edgeSrc_.push_back(src_slot);
-                plan.edgeWeight_.push_back(s.inW[static_cast<size_t>(e)]);
+                plan.edgeWeight_.push_back(lowerAttr(
+                    s.inW[static_cast<size_t>(e)], tier, codec));
             }
             plan.edgeOffset_.push_back(
                 static_cast<int32_t>(plan.edgeSrc_.size()));
@@ -325,12 +346,15 @@ CompiledPlan::compile(const Genome &genome, const NeatConfig &cfg,
  */
 CompiledPlan
 CompiledPlan::compileRecurrent(const Genome &genome,
-                               const NeatConfig &cfg, CompileScratch &s)
+                               const NeatConfig &cfg, CompileScratch &s,
+                               NumericsTier tier)
 {
     CompiledPlan plan;
     plan.recurrent_ = true;
+    plan.tier_ = tier;
     plan.numInputs_ = cfg.numInputs;
     plan.numOutputs_ = cfg.numOutputs;
+    const FixedPointCodec codec(kHwIntBits, kHwFracBits);
 
     const int num_inputs = cfg.numInputs;
     compressKeys(genome, num_inputs, s);
@@ -397,8 +421,8 @@ CompiledPlan::compileRecurrent(const Genome &genome,
         const neat::NodeGene *ng = s.genes[static_cast<size_t>(idx)];
         plan.activation_.push_back(ng->activation);
         plan.aggregation_.push_back(ng->aggregation);
-        plan.bias_.push_back(ng->bias);
-        plan.response_.push_back(ng->response);
+        plan.bias_.push_back(lowerAttr(ng->bias, tier, codec));
+        plan.response_.push_back(lowerAttr(ng->response, tier, codec));
         plan.nodeSlot_.push_back(slot_of_vertex(idx));
 
         for (int32_t e = s.inOff[static_cast<size_t>(idx)];
@@ -410,7 +434,8 @@ CompiledPlan::compileRecurrent(const Genome &genome,
             if (src_slot < 0 && ng->aggregation == neat::Aggregation::Sum)
                 continue; // see edgeSrc_ docs
             plan.edgeSrc_.push_back(src_slot);
-            plan.edgeWeight_.push_back(s.inW[static_cast<size_t>(e)]);
+            plan.edgeWeight_.push_back(
+                lowerAttr(s.inW[static_cast<size_t>(e)], tier, codec));
         }
         plan.edgeOffset_.push_back(
             static_cast<int32_t>(plan.edgeSrc_.size()));
@@ -503,32 +528,35 @@ CompiledPlan::dcheckCompiled(const char *what) const
 }
 
 CompiledPlan
-CompiledPlan::compile(const Genome &genome, const NeatConfig &cfg)
+CompiledPlan::compile(const Genome &genome, const NeatConfig &cfg,
+                      NumericsTier tier)
 {
     CompileScratch scratch;
-    return compile(genome, cfg, scratch);
+    return compile(genome, cfg, scratch, tier);
 }
 
 CompiledPlan
-CompiledPlan::compileRecurrent(const Genome &genome, const NeatConfig &cfg)
+CompiledPlan::compileRecurrent(const Genome &genome, const NeatConfig &cfg,
+                               NumericsTier tier)
 {
     CompileScratch scratch;
-    return compileRecurrent(genome, cfg, scratch);
+    return compileRecurrent(genome, cfg, scratch, tier);
 }
 
 CompiledPlan
 CompiledPlan::compileFor(const Genome &genome, const NeatConfig &cfg,
-                         CompileScratch &scratch)
+                         CompileScratch &scratch, NumericsTier tier)
 {
-    return cfg.feedForward ? compile(genome, cfg, scratch)
-                           : compileRecurrent(genome, cfg, scratch);
+    return cfg.feedForward ? compile(genome, cfg, scratch, tier)
+                           : compileRecurrent(genome, cfg, scratch, tier);
 }
 
 CompiledPlan
-CompiledPlan::compileFor(const Genome &genome, const NeatConfig &cfg)
+CompiledPlan::compileFor(const Genome &genome, const NeatConfig &cfg,
+                         NumericsTier tier)
 {
     CompileScratch scratch;
-    return compileFor(genome, cfg, scratch);
+    return compileFor(genome, cfg, scratch, tier);
 }
 
 void
@@ -539,6 +567,17 @@ CompiledPlan::activate(const std::vector<double> &inputs,
         activateRecurrent(inputs, scratch);
         return;
     }
+    if (tier_ == NumericsTier::HwFaithful)
+        activateImpl<NumericsTier::HwFaithful>(inputs, scratch);
+    else
+        activateImpl<NumericsTier::Reference>(inputs, scratch);
+}
+
+template <NumericsTier kTier>
+void
+CompiledPlan::activateImpl(const std::vector<double> &inputs,
+                           PlanScratch &scratch) const
+{
     GENESYS_ASSERT(inputs.size() == static_cast<size_t>(numInputs_),
                    "expected " << numInputs_ << " inputs, got "
                                << inputs.size());
@@ -555,6 +594,12 @@ CompiledPlan::activate(const std::vector<double> &inputs,
     // every opaque call in the hot loop.
     double *const values = scratch.values.data();
     std::copy(inputs.begin(), inputs.end(), values);
+    if constexpr (kTier == NumericsTier::HwFaithful) {
+        // Sensor latch: observations enter the datapath through the
+        // same Q6.10 Limit & Quantize stage every node output passes.
+        for (int i = 0; i < numInputs_; ++i)
+            values[i] = kHwQuantizer(values[i]);
+    }
     const double *const w = edgeWeight_.data();
     const int32_t *const src = edgeSrc_.data();
     const int32_t *const offs = edgeOffset_.data();
@@ -582,8 +627,12 @@ CompiledPlan::activate(const std::vector<double> &inputs,
             }
             pre = neat::aggregate(agg[n], scratch.weighted);
         }
-        values[slot_of[n]] =
-            neat::activate(act[n], bias[n] + response[n] * pre);
+        if constexpr (kTier == NumericsTier::HwFaithful)
+            values[slot_of[n]] = hwact::activateQuantized(
+                act[n], bias[n] + response[n] * pre, kHwQuantizer);
+        else
+            values[slot_of[n]] =
+                neat::activate(act[n], bias[n] + response[n] * pre);
     }
 
     double *const outputs = scratch.outputs.data();
@@ -596,6 +645,17 @@ CompiledPlan::activate(const std::vector<double> &inputs,
 void
 CompiledPlan::activateRecurrent(const std::vector<double> &inputs,
                                 PlanScratch &scratch) const
+{
+    if (tier_ == NumericsTier::HwFaithful)
+        activateRecurrentImpl<NumericsTier::HwFaithful>(inputs, scratch);
+    else
+        activateRecurrentImpl<NumericsTier::Reference>(inputs, scratch);
+}
+
+template <NumericsTier kTier>
+void
+CompiledPlan::activateRecurrentImpl(const std::vector<double> &inputs,
+                                    PlanScratch &scratch) const
 {
     GENESYS_ASSERT(recurrent_,
                    "activateRecurrent on a feed-forward plan");
@@ -613,8 +673,11 @@ CompiledPlan::activateRecurrent(const std::vector<double> &inputs,
     // updates read them (standard NEAT recurrent evaluation); the
     // current frame keeps them too so they survive the swap.
     for (int i = 0; i < numInputs_; ++i) {
-        prev[i] = inputs[static_cast<size_t>(i)];
-        curr[i] = inputs[static_cast<size_t>(i)];
+        double in = inputs[static_cast<size_t>(i)];
+        if constexpr (kTier == NumericsTier::HwFaithful)
+            in = kHwQuantizer(in); // sensor Limit & Quantize
+        prev[i] = in;
+        curr[i] = in;
     }
 
     const double *const w = edgeWeight_.data();
@@ -644,8 +707,12 @@ CompiledPlan::activateRecurrent(const std::vector<double> &inputs,
             }
             pre = neat::aggregate(agg[n], scratch.weighted);
         }
-        curr[slot_of[n]] =
-            neat::activate(act[n], bias[n] + response[n] * pre);
+        if constexpr (kTier == NumericsTier::HwFaithful)
+            curr[slot_of[n]] = hwact::activateQuantized(
+                act[n], bias[n] + response[n] * pre, kHwQuantizer);
+        else
+            curr[slot_of[n]] =
+                neat::activate(act[n], bias[n] + response[n] * pre);
     }
     std::swap(scratch.prev, scratch.curr);
 
@@ -706,33 +773,47 @@ void
 CompiledPlan::activateBatch(int lanes, const uint8_t *activeLanes,
                             BatchScratch &scratch) const
 {
+    if (tier_ == NumericsTier::HwFaithful)
+        activateBatchDispatch<NumericsTier::HwFaithful>(
+            lanes, activeLanes, scratch);
+    else
+        activateBatchDispatch<NumericsTier::Reference>(
+            lanes, activeLanes, scratch);
+}
+
+template <NumericsTier kTier>
+void
+CompiledPlan::activateBatchDispatch(int lanes,
+                                    const uint8_t *activeLanes,
+                                    BatchScratch &scratch) const
+{
     // Dispatch to a fixed-width instantiation when the lane count is
     // a common small width: with the trip count known at compile time
     // the per-edge lane loop unrolls into straight vector code. The
     // engine's defaults (episodes per evaluation) land in this range.
     switch (lanes) {
       case 1:
-        return activateBatchImpl<1>(lanes, activeLanes, scratch);
+        return activateBatchImpl<1, kTier>(lanes, activeLanes, scratch);
       case 2:
-        return activateBatchImpl<2>(lanes, activeLanes, scratch);
+        return activateBatchImpl<2, kTier>(lanes, activeLanes, scratch);
       case 3:
-        return activateBatchImpl<3>(lanes, activeLanes, scratch);
+        return activateBatchImpl<3, kTier>(lanes, activeLanes, scratch);
       case 4:
-        return activateBatchImpl<4>(lanes, activeLanes, scratch);
+        return activateBatchImpl<4, kTier>(lanes, activeLanes, scratch);
       case 5:
-        return activateBatchImpl<5>(lanes, activeLanes, scratch);
+        return activateBatchImpl<5, kTier>(lanes, activeLanes, scratch);
       case 6:
-        return activateBatchImpl<6>(lanes, activeLanes, scratch);
+        return activateBatchImpl<6, kTier>(lanes, activeLanes, scratch);
       case 7:
-        return activateBatchImpl<7>(lanes, activeLanes, scratch);
+        return activateBatchImpl<7, kTier>(lanes, activeLanes, scratch);
       case 8:
-        return activateBatchImpl<8>(lanes, activeLanes, scratch);
+        return activateBatchImpl<8, kTier>(lanes, activeLanes, scratch);
       default:
-        return activateBatchImpl<0>(lanes, activeLanes, scratch);
+        return activateBatchImpl<0, kTier>(lanes, activeLanes, scratch);
     }
 }
 
-template <int kLanes>
+template <int kLanes, NumericsTier kTier>
 void
 CompiledPlan::activateBatchImpl(int lanes, const uint8_t *activeLanes,
                                 BatchScratch &scratch) const
@@ -784,9 +865,14 @@ CompiledPlan::activateBatchImpl(int lanes, const uint8_t *activeLanes,
     const size_t in_count = static_cast<size_t>(numInputs_) * L;
     std::copy(scratch.inputs.begin(), scratch.inputs.begin() + in_count,
               rd);
+    if constexpr (kTier == NumericsTier::HwFaithful) {
+        // Sensor Limit & Quantize, applied after the latch so the
+        // caller's input buffer stays untouched.
+        for (size_t i = 0; i < in_count; ++i)
+            rd[i] = kHwQuantizer(rd[i]);
+    }
     if (recurrent_)
-        std::copy(scratch.inputs.begin(),
-                  scratch.inputs.begin() + in_count, wr);
+        std::copy(rd, rd + in_count, wr);
 
     const double *const w = edgeWeight_.data();
     const int32_t *const src = edgeSrc_.data();
@@ -798,24 +884,58 @@ CompiledPlan::activateBatchImpl(int lanes, const uint8_t *activeLanes,
     const double *const response = response_.data();
     double *const acc = scratch.acc.data();
 
+    // One mask scan per batch step (not per node): lanes retire
+    // monotonically within an episode wave, and the all-active fast
+    // path in the activation step needs only this bool.
+    bool all_active = true;
+    for (size_t l = 0; l < L; ++l)
+        all_active &= activeLanes[l] != 0;
+
     const int n_nodes = static_cast<int>(nodeSlot_.size());
     for (int n = 0; n < n_nodes; ++n) {
         const int32_t e0 = offs[n];
         const int32_t e1 = offs[n + 1];
         if (agg[n] == neat::Aggregation::Sum) {
-            // __restrict: the accumulator vector is distinct from
-            // every value array by construction, which unlocks
-            // vectorization of the lane loop — the whole point of the
-            // lane-minor layout. Summation order per lane is still
-            // exactly the serial edge order.
-            double *const __restrict accr = acc;
-            std::fill(accr, accr + L, 0.0);
-            for (int32_t e = e0; e < e1; ++e) {
-                const double we = w[e];
-                const double *const __restrict sv =
-                    rd + static_cast<size_t>(src[e]) * L;
-                for (size_t l = 0; l < L; ++l)
-                    accr[l] += sv[l] * we;
+            // Summation order per lane is exactly the serial edge
+            // order in both branches — only where the running sums
+            // live differs, so the change is invisible to the
+            // bit-identity contract.
+            if constexpr (kLanes > 0) {
+                // Fixed width: a stack array of kLanes running sums
+                // fully unrolls, so the accumulators stay in vector
+                // registers across the whole edge loop instead of
+                // round-tripping through memory per edge (the
+                // store-to-load chain was the batched path's largest
+                // cost on dense genomes). The final copy into the
+                // shared accumulator keeps the activation step a
+                // single call site below, which GCC needs to inline
+                // it (a two-site helper gets outlined and costs more
+                // than the 8 stores here save).
+                double lacc[kLanes] = {};
+                for (int32_t e = e0; e < e1; ++e) {
+                    const double we = w[e];
+                    const double *const __restrict sv =
+                        rd + static_cast<size_t>(src[e]) *
+                                 static_cast<size_t>(kLanes);
+                    for (int l = 0; l < kLanes; ++l)
+                        lacc[l] += sv[l] * we;
+                }
+                for (int l = 0; l < kLanes; ++l)
+                    acc[l] = lacc[l];
+            } else {
+                // Generic width: accumulate in the lane-sized scratch
+                // vector. __restrict: the accumulator is distinct
+                // from every value array by construction, which
+                // unlocks vectorization of the lane loop.
+                double *const __restrict accr = acc;
+                std::fill(accr, accr + L, 0.0);
+                for (int32_t e = e0; e < e1; ++e) {
+                    const double we = w[e];
+                    const double *const __restrict sv =
+                        rd + static_cast<size_t>(src[e]) * L;
+                    for (size_t l = 0; l < L; ++l)
+                        accr[l] += sv[l] * we;
+                }
             }
         } else {
             for (size_t l = 0; l < L; ++l) {
@@ -836,9 +956,18 @@ CompiledPlan::activateBatchImpl(int lanes, const uint8_t *activeLanes,
         const double b = bias[n];
         const double r = response[n];
         double *const dst = wr + static_cast<size_t>(slot_of[n]) * L;
-        for (size_t l = 0; l < L; ++l) {
-            if (activeLanes[l])
-                dst[l] = neat::activate(a, b + r * acc[l]);
+        if constexpr (kTier == NumericsTier::HwFaithful) {
+            // Branch-free hw approximation + Limit & Quantize across
+            // the whole lane vector — the step the reference tier
+            // cannot vectorize because of the per-lane libm call.
+            hwact::activateLanesQuantized<kLanes>(
+                a, b, r, acc, activeLanes, all_active, dst,
+                static_cast<int>(L), kHwQuantizer);
+        } else {
+            for (size_t l = 0; l < L; ++l) {
+                if (activeLanes[l])
+                    dst[l] = neat::activate(a, b + r * acc[l]);
+            }
         }
     }
 

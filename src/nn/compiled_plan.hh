@@ -56,6 +56,7 @@
 
 #include "nn/feedforward.hh"
 #include "nn/levelize.hh"
+#include "nn/numerics.hh"
 
 namespace genesys::nn
 {
@@ -150,25 +151,37 @@ class CompiledPlan
         int32_t end = 0;
     };
 
-    /** Lower `genome` into a flat feed-forward execution plan. */
-    static CompiledPlan compile(const Genome &genome,
-                                const NeatConfig &cfg);
+    /**
+     * Lower `genome` into a flat feed-forward execution plan. Under
+     * NumericsTier::HwFaithful the lowering additionally quantizes
+     * every bias/response/weight through the Q6.10 codec and the
+     * activate paths run the hw approximation + Limit & Quantize
+     * kernels (see nn/numerics.hh); the default Reference tier is the
+     * bit-identical float path every existing caller gets unchanged.
+     */
+    static CompiledPlan
+    compile(const Genome &genome, const NeatConfig &cfg,
+            NumericsTier tier = NumericsTier::Reference);
     /** As compile(), reusing the caller's per-thread scratch. */
-    static CompiledPlan compile(const Genome &genome,
-                                const NeatConfig &cfg,
-                                CompileScratch &scratch);
+    static CompiledPlan
+    compile(const Genome &genome, const NeatConfig &cfg,
+            CompileScratch &scratch,
+            NumericsTier tier = NumericsTier::Reference);
 
     /**
      * Lower `genome` (cycles allowed) into a flat recurrent plan:
      * every node gene updates each tick from the previous tick's
-     * values, matching nn::RecurrentNetwork bit for bit.
+     * values, matching nn::RecurrentNetwork bit for bit (Reference
+     * tier; HwFaithful quantizes as compile() does).
      */
-    static CompiledPlan compileRecurrent(const Genome &genome,
-                                         const NeatConfig &cfg);
+    static CompiledPlan
+    compileRecurrent(const Genome &genome, const NeatConfig &cfg,
+                     NumericsTier tier = NumericsTier::Reference);
     /** As compileRecurrent(), reusing the caller's scratch. */
-    static CompiledPlan compileRecurrent(const Genome &genome,
-                                         const NeatConfig &cfg,
-                                         CompileScratch &scratch);
+    static CompiledPlan
+    compileRecurrent(const Genome &genome, const NeatConfig &cfg,
+                     CompileScratch &scratch,
+                     NumericsTier tier = NumericsTier::Reference);
 
     /**
      * The mode-dispatching entry point: feed-forward lowering for
@@ -176,15 +189,20 @@ class CompiledPlan
      * so every consumer (PlanCache, replay, the engine) runs all
      * genomes through one compiled substrate.
      */
-    static CompiledPlan compileFor(const Genome &genome,
-                                   const NeatConfig &cfg);
+    static CompiledPlan
+    compileFor(const Genome &genome, const NeatConfig &cfg,
+               NumericsTier tier = NumericsTier::Reference);
     /** As compileFor(), reusing the caller's scratch. */
-    static CompiledPlan compileFor(const Genome &genome,
-                                   const NeatConfig &cfg,
-                                   CompileScratch &scratch);
+    static CompiledPlan
+    compileFor(const Genome &genome, const NeatConfig &cfg,
+               CompileScratch &scratch,
+               NumericsTier tier = NumericsTier::Reference);
 
     /** Was this plan lowered with recurrent (stateful) semantics? */
     bool isRecurrent() const { return recurrent_; }
+
+    /** The numerics tier this plan was lowered under. */
+    NumericsTier numericsTier() const { return tier_; }
 
     /**
      * Evaluate the plan. Feed-forward plans run every levelized layer
@@ -275,13 +293,32 @@ class CompiledPlan
     }
 
   private:
+    /** Serial feed-forward body, specialized per numerics tier so the
+     *  Reference hot loop carries no tier branch. */
+    template <NumericsTier kTier>
+    void activateImpl(const std::vector<double> &inputs,
+                      PlanScratch &scratch) const;
+
+    /** Recurrent tick body, specialized per numerics tier. */
+    template <NumericsTier kTier>
+    void activateRecurrentImpl(const std::vector<double> &inputs,
+                               PlanScratch &scratch) const;
+
+    /** Lane-width switch of activateBatch for one numerics tier. */
+    template <NumericsTier kTier>
+    void activateBatchDispatch(int lanes, const uint8_t *activeLanes,
+                               BatchScratch &scratch) const;
+
     /**
      * The batched kernel body, specialized on a compile-time lane
      * count (kLanes > 0) so the per-edge lane loop fully unrolls and
      * vectorizes without per-edge trip-count setup; kLanes == 0 is
-     * the any-width fallback reading the runtime `lanes`.
+     * the any-width fallback reading the runtime `lanes`. kTier
+     * selects the activation step: reference libm (masked per lane)
+     * or the branch-free hw approximation + Limit & Quantize, which
+     * vectorizes across the lane dimension.
      */
-    template <int kLanes>
+    template <int kLanes, NumericsTier kTier>
     void activateBatchImpl(int lanes, const uint8_t *activeLanes,
                            BatchScratch &scratch) const;
 
@@ -299,6 +336,7 @@ class CompiledPlan
     int numSlots_ = 0;
     long macs_ = 0;
     bool recurrent_ = false;
+    NumericsTier tier_ = NumericsTier::Reference;
 
     // Per-node tables, structure-of-arrays in execution order.
     std::vector<neat::Activation> activation_;

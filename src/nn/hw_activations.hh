@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Branch-free activation approximations for the HwFaithful numerics
+ * tier — the no-libm hot loop that lets the lane-minor batched
+ * kernel vectorize.
+ *
+ * The reference activations (neat::activate, src/neat/activations.cc)
+ * call libm per node per lane; on small policies that scalar
+ * sigmoid/tanh call is the eval-path floor. The GeneSys hardware has
+ * no libm either: EvE/ADAM run fixed-point datapaths with polynomial
+ * function units. Each functor here mirrors one reference formula —
+ * same input scaling and clamps — with the transcendental core
+ * replaced by a rational or truncated-series approximation in the
+ * shape of the UPMEM in-memory-inference exemplar:
+ *
+ *   tanh(x) ~= x * (27 + x^2) / (27 + 9 x^2)   (clamped to +-3,
+ *              where the rational hits exactly +-1)
+ *   exp(x)  ~= taylor5(x / 16) ^ 16            (4 squarings)
+ *
+ * Everything is straight-line min/max/mul/add (plus one division for
+ * tanh-family nodes), so GCC vectorizes the per-lane loop without
+ * pragmas; bit-identical whether a lane runs through the scalar or
+ * the batched path, because both dispatch to the SAME functor and the
+ * per-lane expression order is fixed. Approximation error is bounded
+ * per activation below and end-to-end (float-vs-hw fitness
+ * divergence) in tests/test_numerics_divergence.cc.
+ *
+ * Every node output then passes through the caller's
+ * FixedPointQuantizer — the EvE "Limit & Quantize" stage — so values
+ * stay on the Q6.10 grid between nodes.
+ */
+
+#ifndef GENESYS_NN_HW_ACTIVATIONS_HH
+#define GENESYS_NN_HW_ACTIVATIONS_HH
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "common/fixed_point.hh"
+#include "neat/activations.hh"
+#include "nn/numerics.hh"
+
+namespace genesys::nn::hwact
+{
+
+/**
+ * The Q6.10 Limit & Quantize stage as a compile-time constant —
+ * numerically identical to FixedPointCodec(kHwIntBits,
+ * kHwFracBits).quantizer() (pinned in tests/test_fixed_point.cc),
+ * available constexpr so the hot loops fold the four constants
+ * instead of loading them through a pointer.
+ */
+constexpr FixedPointQuantizer
+hwQuantizer()
+{
+    FixedPointQuantizer q;
+    q.scale = static_cast<double>(1 << kHwFracBits);
+    q.invScale = 1.0 / q.scale; // exact: power of two
+    q.minRaw = static_cast<double>(
+        -(1 << (kHwIntBits + kHwFracBits - 1)));
+    q.maxRaw = static_cast<double>(
+        (1 << (kHwIntBits + kHwFracBits - 1)) - 1);
+    return q;
+}
+
+inline double
+clampv(double x, double lo, double hi)
+{
+    return std::min(std::max(x, lo), hi);
+}
+
+/**
+ * Rational tanh core (UPMEM shape). Max absolute error vs std::tanh
+ * is ~2.4e-2 near |x| = 1.6; the +-3 clamp lands exactly on +-1
+ * (3 * 36 / 108), so the saturation is continuous and branch-free.
+ */
+inline double
+tanhCore(double x)
+{
+    const double t = clampv(x, -3.0, 3.0);
+    const double t2 = t * t;
+    return t * (27.0 + t2) / (27.0 + 9.0 * t2);
+}
+
+/**
+ * Truncated-series exp: degree-5 Taylor of exp(x/16), squared four
+ * times. Relative error is < 2e-4 for x in [-7, 4] — the entire span
+ * whose output survives Q6.10 quantization (exp(x) saturates at the
+ * +32 rail for x > ~3.5 and underflows the 2^-10 grid below ~-7).
+ * Inputs are clamped to +-16 so the series argument stays in [-1, 1].
+ */
+inline double
+expCore(double x)
+{
+    const double z = clampv(x, -16.0, 16.0) * (1.0 / 16.0);
+    double p =
+        1.0 +
+        z * (1.0 +
+             z * (0.5 +
+                  z * ((1.0 / 6.0) +
+                       z * ((1.0 / 24.0) + z * (1.0 / 120.0)))));
+    p *= p;
+    p *= p;
+    p *= p;
+    p *= p;
+    return p;
+}
+
+/**
+ * Bit-hack log core: exponent from the IEEE-754 representation,
+ * mantissa via the atanh series log(m) = 2(s + s^3/3 + s^5/5 + s^7/7)
+ * with s = (m-1)/(m+1), |s| <= 1/3. Absolute error < 2e-5. Matches
+ * the reference's 1e-7 floor (so the argument is always a positive
+ * normal and the bit decomposition is exact).
+ */
+inline double
+logCore(double x)
+{
+    const double c = std::max(x, 1e-7);
+    const uint64_t bits = std::bit_cast<uint64_t>(c);
+    const int e = static_cast<int>((bits >> 52) & 0x7ffu) - 1023;
+    const double m = std::bit_cast<double>(
+        (bits & 0xfffffffffffffull) | 0x3ff0000000000000ull);
+    const double s = (m - 1.0) / (m + 1.0);
+    const double s2 = s * s;
+    const double lm =
+        2.0 * s *
+        (1.0 + s2 * ((1.0 / 3.0) + s2 * ((1.0 / 5.0) + s2 * (1.0 / 7.0))));
+    return static_cast<double>(e) * 0.6931471805599453 + lm;
+}
+
+/**
+ * Odd-Taylor sin core with one magic-constant turn reduction into
+ * [-pi, pi]. Max absolute error ~7e-3 at the +-pi seam (where sin
+ * itself crosses 0). The round-to-nearest uses the same 1.5*2^52
+ * trick as FixedPointQuantizer — no std::nearbyint call to block
+ * vectorization on pre-SSE4 baselines.
+ */
+inline double
+sinCore(double x)
+{
+    constexpr double magic = 6755399441055744.0; // 1.5 * 2^52
+    const double turns = x * 0.15915494309189535; // 1 / 2pi
+    const double k = (turns + magic) - magic;
+    const double r = x - k * 6.283185307179586;
+    const double r2 = r * r;
+    return r *
+           (1.0 +
+            r2 * ((-1.0 / 6.0) +
+                  r2 * ((1.0 / 120.0) +
+                        r2 * ((-1.0 / 5040.0) +
+                              r2 * ((1.0 / 362880.0) -
+                                    r2 * (1.0 / 39916800.0))))));
+}
+
+// One functor per neat::Activation, mirroring the reference formula's
+// input scaling and clamps exactly (see src/neat/activations.cc); only
+// the transcendental core differs. Both the scalar and the batched
+// hw paths dispatch to these same functors, which is what makes the
+// hw tier bit-identical across execution modes.
+
+struct Sigmoid
+{
+    // sigmoid(5x) = (1 + tanh(2.5x)) / 2.
+    double operator()(double x) const
+    {
+        return 0.5 * (1.0 + tanhCore(2.5 * x));
+    }
+};
+struct Tanh
+{
+    double operator()(double x) const { return tanhCore(2.5 * x); }
+};
+struct ReLU
+{
+    double operator()(double x) const { return std::max(x, 0.0); }
+};
+struct Identity
+{
+    double operator()(double x) const { return x; }
+};
+struct Sin
+{
+    double operator()(double x) const
+    {
+        return sinCore(clampv(5.0 * x, -60.0, 60.0));
+    }
+};
+struct Gauss
+{
+    double operator()(double x) const
+    {
+        const double c = clampv(x, -3.4, 3.4);
+        return expCore(-5.0 * c * c);
+    }
+};
+struct Abs
+{
+    double operator()(double x) const { return std::fabs(x); }
+};
+struct Clamped
+{
+    double operator()(double x) const { return clampv(x, -1.0, 1.0); }
+};
+struct Square
+{
+    double operator()(double x) const { return x * x; }
+};
+struct Cube
+{
+    double operator()(double x) const { return x * x * x; }
+};
+struct Log
+{
+    double operator()(double x) const { return logCore(x); }
+};
+struct Exp
+{
+    double operator()(double x) const
+    {
+        return expCore(clampv(x, -60.0, 60.0));
+    }
+};
+struct Hat
+{
+    double operator()(double x) const
+    {
+        return std::max(0.0, 1.0 - std::fabs(x));
+    }
+};
+struct Inv
+{
+    double operator()(double x) const
+    {
+        // Compiles to a compare + blend: still branch-free in the
+        // lane loop.
+        return std::fabs(x) < 1e-7 ? 0.0 : 1.0 / x;
+    }
+};
+struct Softplus
+{
+    double operator()(double x) const
+    {
+        return 0.2 *
+               logCore(1.0 + expCore(clampv(5.0 * x, -60.0, 60.0)));
+    }
+};
+
+/**
+ * Dispatch `vis` with the functor for `a`. The single switch keeps
+ * the scalar path (visitor returns the activated double) and the
+ * batched path (visitor runs the whole lane loop with the functor
+ * inlined) on one formula table.
+ */
+template <class Visitor>
+inline decltype(auto)
+dispatch(neat::Activation a, Visitor &&vis)
+{
+    switch (a) {
+      case neat::Activation::Sigmoid:
+        return vis(Sigmoid{});
+      case neat::Activation::Tanh:
+        return vis(Tanh{});
+      case neat::Activation::ReLU:
+        return vis(ReLU{});
+      case neat::Activation::Identity:
+        return vis(Identity{});
+      case neat::Activation::Sin:
+        return vis(Sin{});
+      case neat::Activation::Gauss:
+        return vis(Gauss{});
+      case neat::Activation::Abs:
+        return vis(Abs{});
+      case neat::Activation::Clamped:
+        return vis(Clamped{});
+      case neat::Activation::Square:
+        return vis(Square{});
+      case neat::Activation::Cube:
+        return vis(Cube{});
+      case neat::Activation::Log:
+        return vis(Log{});
+      case neat::Activation::Exp:
+        return vis(Exp{});
+      case neat::Activation::Hat:
+        return vis(Hat{});
+      case neat::Activation::Inv:
+        return vis(Inv{});
+      default:
+        return vis(Softplus{});
+    }
+}
+
+/** Scalar hw activation + Limit & Quantize for one node value. */
+inline double
+activateQuantized(neat::Activation a, double x,
+                  const FixedPointQuantizer &q)
+{
+    return dispatch(a, [&](auto op) { return q(op(x)); });
+}
+
+/**
+ * The batched activation step: approximate, quantize and store one
+ * node's output across all lanes. Computes every lane unmasked (the
+ * functors are total on finite inputs, and stale inactive-lane
+ * values are never consumed); the store is a plain vector store when
+ * every lane is active (the overwhelmingly common case — lanes only
+ * go inactive as episodes retire at different steps) and a per-lane
+ * blend otherwise, so the loop body stays branch-free and vectorizes
+ * either way. `all_active` is passed in so the caller scans the mask
+ * once per batch step, not once per node. Both branches evaluate the
+ * identical expression for active lanes, so the fast path cannot
+ * perturb bit-identity. kLanes > 0 fixes the trip count at compile
+ * time, matching the fixed-width activateBatchImpl instantiations.
+ */
+template <int kLanes>
+inline void
+activateLanesQuantized(neat::Activation a, double bias, double response,
+                       const double *__restrict acc,
+                       const uint8_t *__restrict active,
+                       bool all_active, double *__restrict dst,
+                       int lanes, const FixedPointQuantizer &q)
+{
+    const int L = kLanes > 0 ? kLanes : lanes;
+    dispatch(a, [&](auto op) {
+        if (all_active) {
+            for (int l = 0; l < L; ++l)
+                dst[l] = q(op(bias + response * acc[l]));
+        } else {
+            for (int l = 0; l < L; ++l) {
+                const double v = q(op(bias + response * acc[l]));
+                dst[l] = active[l] ? v : dst[l];
+            }
+        }
+    });
+}
+
+} // namespace genesys::nn::hwact
+
+#endif // GENESYS_NN_HW_ACTIVATIONS_HH

@@ -1,0 +1,36 @@
+#include "nn/numerics.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+
+namespace genesys::nn
+{
+
+namespace
+{
+
+const std::array<std::string, 2> tierNames = {"reference", "hw"};
+
+} // namespace
+
+const std::string &
+numericsTierName(NumericsTier tier)
+{
+    const auto idx = static_cast<size_t>(tier);
+    GENESYS_ASSERT(idx < tierNames.size(), "bad numerics tier value");
+    return tierNames[idx];
+}
+
+NumericsTier
+numericsTierFromName(const std::string &name)
+{
+    for (size_t i = 0; i < tierNames.size(); ++i) {
+        if (tierNames[i] == name)
+            return static_cast<NumericsTier>(i);
+    }
+    fatal("unknown numerics tier \"" + name +
+          "\" (expected reference or hw)");
+}
+
+} // namespace genesys::nn

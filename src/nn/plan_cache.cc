@@ -59,7 +59,8 @@ PlanCache::beginGeneration(const std::vector<int> &survivingKeys)
 
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto it = plans_.begin(); it != plans_.end();) {
-        if (std::binary_search(sorted.begin(), sorted.end(), it->first)) {
+        if (std::binary_search(sorted.begin(), sorted.end(),
+                               it->first.first)) {
             ++carriedOver_;
             ++it;
         } else {
@@ -70,12 +71,13 @@ PlanCache::beginGeneration(const std::vector<int> &survivingKeys)
 
 std::shared_ptr<const CompiledPlan>
 PlanCache::acquire(int genomeKey, const neat::Genome &genome,
-                   const neat::NeatConfig &cfg)
+                   const neat::NeatConfig &cfg, NumericsTier tier)
 {
     const uint64_t fp = fingerprintOf(genome);
+    const std::pair<int, NumericsTier> key{genomeKey, tier};
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        auto it = plans_.find(genomeKey);
+        auto it = plans_.find(key);
         if (it != plans_.end()) {
             GENESYS_ASSERT(it->second.fingerprint == fp,
                            "plan cache hit on key "
@@ -99,7 +101,8 @@ PlanCache::acquire(int genomeKey, const neat::Genome &genome,
     {
         obs::Span span("plan.compile", "compile", genomeKey);
         plan = std::make_shared<const CompiledPlan>(
-            CompiledPlan::compileFor(genome, cfg, compile_scratch));
+            CompiledPlan::compileFor(genome, cfg, compile_scratch,
+                                     tier));
     }
     const long spent_ns = static_cast<long>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -107,8 +110,7 @@ PlanCache::acquire(int genomeKey, const neat::Genome &genome,
             .count());
     std::lock_guard<std::mutex> lock(mutex_);
     compileNs_ += spent_ns;
-    auto [it, inserted] =
-        plans_.emplace(genomeKey, Entry{std::move(plan), fp});
+    auto [it, inserted] = plans_.emplace(key, Entry{std::move(plan), fp});
     // Only the winning insert is a compile that exists; a racing
     // thread's duplicate is discarded and must not inflate the
     // observability counter.

@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "nn/compiled_plan.hh"
@@ -58,10 +59,16 @@ class PlanCache
      * rules. Compilation runs outside the lock so distinct genomes
      * compile concurrently; if two threads race on the same key the
      * first insert wins and both receive the same shared plan.
+     *
+     * Plans are keyed by (genomeKey, tier): the HwFaithful lowering
+     * quantizes attributes at compile time, so a Reference plan can
+     * never be served to a hw-tier consumer (differential harnesses
+     * acquire both tiers of one genome side by side).
      */
     std::shared_ptr<const CompiledPlan>
     acquire(int genomeKey, const neat::Genome &genome,
-            const neat::NeatConfig &cfg);
+            const neat::NeatConfig &cfg,
+            NumericsTier tier = NumericsTier::Reference);
 
     /** Plans currently cached (bounded by the generation size). */
     size_t size() const;
@@ -106,7 +113,8 @@ class PlanCache
     static uint64_t fingerprintOf(const neat::Genome &genome);
 
     mutable std::mutex mutex_;
-    std::map<int, Entry> plans_;
+    /** Keyed by (genome key, numerics tier) — see acquire(). */
+    std::map<std::pair<int, NumericsTier>, Entry> plans_;
     long compiles_ = 0;
     long hits_ = 0;
     long carriedOver_ = 0;

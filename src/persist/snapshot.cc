@@ -503,6 +503,7 @@ writeSnapshotFile(const SystemSnapshot &snap, const std::string &path)
     w.i32(snap.numInputs);
     w.i32(snap.numOutputs);
     w.u8(snap.feedForward ? 1 : 0);
+    w.u8(static_cast<uint8_t>(snap.numericsTier));
     w.endChunk(c);
 
     c = w.beginChunk(kChunkPopulation);
@@ -692,6 +693,15 @@ readSnapshotFile(const std::string &path)
             snap.numInputs = r.i32("input count");
             snap.numOutputs = r.i32("output count");
             snap.feedForward = r.u8("feed-forward flag") != 0;
+            const uint8_t tier = r.u8("numerics tier");
+            if (tier > static_cast<uint8_t>(
+                           nn::NumericsTier::HwFaithful)) {
+                throw SnapshotError(
+                    "malformed snapshot \"" + path +
+                    "\": numerics tier byte " + std::to_string(tier) +
+                    " out of range");
+            }
+            snap.numericsTier = static_cast<nn::NumericsTier>(tier);
         } else if (tag == kChunkPopulation) {
             mark_once(seen_population);
             snap.population.generation = r.i32("generation counter");

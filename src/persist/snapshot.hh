@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "neat/population.hh"
+#include "nn/numerics.hh"
 
 namespace genesys::persist
 {
@@ -62,7 +63,7 @@ class SnapshotError : public std::runtime_error
 };
 
 /** Current snapshot format version (see versioning policy above). */
-constexpr uint32_t kSnapshotVersion = 1;
+constexpr uint32_t kSnapshotVersion = 2;
 
 /**
  * Everything a resumed run needs to continue bit-identically from
@@ -81,6 +82,13 @@ struct SystemSnapshot
     int numInputs = 0;
     int numOutputs = 0;
     bool feedForward = true;
+    /**
+     * Numerics tier the run evaluated under. Tiers are numerically
+     * distinct lowerings, so a resumed run must re-select the same
+     * one for the continuation to be bit-identical — System::
+     * resumeFrom validates this like the other provenance fields.
+     */
+    nn::NumericsTier numericsTier = nn::NumericsTier::Reference;
 
     // --- evolution state --------------------------------------------
     neat::PopulationSnapshot population;

@@ -1,0 +1,43 @@
+// Violating fixture for the libm-in-hot-path rule: raw libm
+// transcendentals inside src/nn/, the HwFaithful tier's no-libm hot
+// path. Each call below is the scalar sigmoid/exp that the
+// hw_activations.hh cores exist to replace — one of these in a lane
+// loop and GCC stops vectorizing the whole activation step.
+
+#include <cmath>
+
+namespace genesys::nn
+{
+
+double
+sigmoidScalar(double x)
+{
+    return 1.0 / (1.0 + std::exp(-5.0 * x)); // finding: libm-in-hot-path
+}
+
+double
+tanhScalar(double x)
+{
+    return std::tanh(2.5 * x); // finding: libm-in-hot-path
+}
+
+float
+expSingle(float x)
+{
+    return std::expf(x); // finding: libm-in-hot-path
+}
+
+// An annotated site passes: one-time table construction at plan
+// compile time is not the per-step lane loop.
+// genesys-lint: allow(libm-in-hot-path, one-time LUT seed at compile time, off the per-step eval path)
+double lutSeed(double x) { return std::exp2(x); }
+
+// The sanctioned routes never match: approximation cores and
+// non-transcendental cmath are fine.
+double
+clampOnly(double x)
+{
+    return std::min(std::max(x, -1.0), 1.0);
+}
+
+} // namespace genesys::nn

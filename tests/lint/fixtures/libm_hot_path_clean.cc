@@ -1,0 +1,24 @@
+// Clean twin for the libm-in-hot-path rule: this file is scanned at
+// src/neat/ — the reference-activation translation unit's home, which
+// the rule exempts by scope. libm calls here ARE the golden reference
+// the hw tier's approximation error is measured against, so they must
+// never be flagged.
+
+#include <cmath>
+
+namespace genesys::neat
+{
+
+double
+activateSigmoid(double x)
+{
+    return 1.0 / (1.0 + std::exp(-5.0 * x));
+}
+
+double
+activateTanh(double x)
+{
+    return std::tanh(2.5 * x);
+}
+
+} // namespace genesys::neat

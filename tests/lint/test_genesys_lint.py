@@ -40,6 +40,7 @@ FIXTURE_PLAN = {
     "wall_clock": ("wall-clock", "src/env", "src/obs"),
     "unordered_container": ("unordered-container", "src/core", "src/core"),
     "map_gene_storage": ("map-gene-storage", "src/neat", "src/neat"),
+    "libm_hot_path": ("libm-in-hot-path", "src/nn", "src/neat"),
     "raw_stdio": ("raw-stdio", "src/hw", "src/hw"),
     "using_namespace_header": ("using-namespace-header", "src/core",
                                "src/core"),

@@ -27,6 +27,15 @@
  * per-genome-batched and heterogeneous-wave execution paths — the
  * strongest cross-mode identity statement in the tree.
  *
+ * GENESYS_NUMERICS, by contrast, IS pinned per test: the numerics
+ * tiers are intentionally different lowerings with different bit
+ * patterns, so each configuration carries one constant per tier
+ * (Reference and HwFaithful) and selects its tier explicitly — a CI
+ * job exporting GENESYS_NUMERICS=hw suite-wide must not silently
+ * retarget the reference constants. The Hw* tests make the same
+ * cross-thread/cross-mode/cross-resume identity statement for the
+ * quantized tier that the originals make for the float tier.
+ *
  * The Resumed* variants run the same configurations interrupted at a
  * mid-run generation barrier — checkpoint, destroy the System, resume
  * in a fresh one — and must land on the SAME constants: the
@@ -44,6 +53,7 @@
 #include <sstream>
 
 #include "core/genesys.hh"
+#include "nn/numerics.hh"
 #include "persist/snapshot.hh"
 
 using namespace genesys;
@@ -66,6 +76,37 @@ fold(uint64_t &h, double v)
 {
     fold(h, std::bit_cast<uint64_t>(v));
 }
+
+/**
+ * Pin GENESYS_NUMERICS for the lifetime of one digest run, restoring
+ * the previous state after. Pinning through the env hook (rather than
+ * only SystemConfig) both isolates the constants from an ambient CI
+ * override and keeps the hook itself on the golden path.
+ */
+class ScopedNumericsEnv
+{
+  public:
+    explicit ScopedNumericsEnv(nn::NumericsTier tier)
+    {
+        const char *prev = std::getenv("GENESYS_NUMERICS");
+        had_ = prev != nullptr;
+        if (had_)
+            prev_ = prev;
+        setenv("GENESYS_NUMERICS", nn::numericsTierName(tier).c_str(),
+               1);
+    }
+    ~ScopedNumericsEnv()
+    {
+        if (had_)
+            setenv("GENESYS_NUMERICS", prev_.c_str(), 1);
+        else
+            unsetenv("GENESYS_NUMERICS");
+    }
+
+  private:
+    bool had_ = false;
+    std::string prev_;
+};
 
 /** The fixed configuration every golden run uses. */
 core::SystemConfig
@@ -119,8 +160,10 @@ digestFields(const core::RunSummary &s,
 
 /** Run a fixed 6-generation system and digest its observable state. */
 uint64_t
-digestRun(const std::string &envName, bool feed_forward, int threads)
+digestRun(const std::string &envName, bool feed_forward, int threads,
+          nn::NumericsTier tier)
 {
+    ScopedNumericsEnv pin(tier);
     core::System sys(goldenConfig(envName, feed_forward, threads));
     const core::RunSummary s = sys.run();
     return digestFields(s, sys.reports());
@@ -136,15 +179,18 @@ digestRun(const std::string &envName, bool feed_forward, int threads)
  */
 uint64_t
 digestResumedRun(const std::string &envName, bool feed_forward,
-                 int threads, int split)
+                 int threads, int split, nn::NumericsTier tier)
 {
+    ScopedNumericsEnv pin(tier);
     namespace fs = std::filesystem;
     std::ostringstream dn;
     // PID-qualified so two suite processes on one machine (e.g. two
-    // build trees' ctest runs) never share a checkpoint directory.
+    // build trees' ctest runs) never share a checkpoint directory;
+    // tier-qualified so the Reference and HwFaithful variants of one
+    // configuration never share one either.
     dn << "genesys-golden-ckpt-" << envName
        << (feed_forward ? "-ff-" : "-rec-") << threads << '-'
-       << ::getpid();
+       << nn::numericsTierName(tier) << '-' << ::getpid();
     const fs::path dir = fs::temp_directory_path() / dn.str();
     fs::remove_all(dir);
 
@@ -207,19 +253,22 @@ digestResumedRun(const std::string &envName, bool feed_forward,
  */
 void
 expectGolden(const std::string &envName, bool feed_forward,
-             uint64_t golden)
+             uint64_t golden,
+             nn::NumericsTier tier = nn::NumericsTier::Reference)
 {
-    const uint64_t d1 = digestRun(envName, feed_forward, 1);
+    const uint64_t d1 = digestRun(envName, feed_forward, 1, tier);
     if (std::getenv("GENESYS_PRINT_DIGESTS") != nullptr) {
-        printf("golden digest %-16s %s: 0x%016llxull\n",
+        printf("golden digest %-16s %s %-9s: 0x%016llxull\n",
                envName.c_str(), feed_forward ? "ff " : "rec",
+               nn::numericsTierName(tier).c_str(),
                static_cast<unsigned long long>(d1));
     }
     EXPECT_EQ(d1, golden)
         << envName << (feed_forward ? " feed-forward" : " recurrent")
+        << " (" << nn::numericsTierName(tier) << " tier)"
         << " digest drifted; if the change is intentional, regenerate "
            "with GENESYS_PRINT_DIGESTS=1 ./tests/test_golden_digests";
-    EXPECT_EQ(digestRun(envName, feed_forward, 8), d1)
+    EXPECT_EQ(digestRun(envName, feed_forward, 8, tier), d1)
         << envName << " digest differs at 8 threads";
 }
 
@@ -233,15 +282,18 @@ expectGolden(const std::string &envName, bool feed_forward,
  */
 void
 expectGoldenResumed(const std::string &envName, bool feed_forward,
-                    int split, uint64_t golden)
+                    int split, uint64_t golden,
+                    nn::NumericsTier tier = nn::NumericsTier::Reference)
 {
     const uint64_t d1 =
-        digestResumedRun(envName, feed_forward, 1, split);
+        digestResumedRun(envName, feed_forward, 1, split, tier);
     EXPECT_EQ(d1, golden)
         << envName << (feed_forward ? " feed-forward" : " recurrent")
+        << " (" << nn::numericsTierName(tier) << " tier)"
         << " resumed-run digest differs from the uninterrupted "
            "golden constant: checkpoint/resume is not bit-identical";
-    EXPECT_EQ(digestResumedRun(envName, feed_forward, 8, split), d1)
+    EXPECT_EQ(
+        digestResumedRun(envName, feed_forward, 8, split, tier), d1)
         << envName << " resumed digest differs at 8 threads";
 }
 
@@ -287,4 +339,60 @@ TEST(GoldenDigestTest, ResumedAtariRamRecurrent)
 {
     expectGoldenResumed("AirRaid-ram-v0", false, 3,
                         0x43e86f2c5070f181ull);
+}
+
+// --- HwFaithful tier -------------------------------------------------
+// The same configurations lowered through the Q6.10 quantized tier.
+// Different constants by design (the tiers are numerically distinct);
+// the identity statements are the same: bit-identical at 1 vs 8
+// threads, across the GENESYS_EVAL_MODE matrix, and across a
+// checkpoint/resume boundary (which also exercises the snapshot's
+// recorded-tier provenance field on the happy path).
+
+TEST(GoldenDigestTest, HwCartPoleFeedForward)
+{
+    expectGolden("CartPole_v0", true, 0x6ea0b26adbe4d5ccull,
+                 nn::NumericsTier::HwFaithful);
+}
+
+TEST(GoldenDigestTest, HwCartPoleRecurrent)
+{
+    expectGolden("CartPole_v0", false, 0x67a36c8719ceec4dull,
+                 nn::NumericsTier::HwFaithful);
+}
+
+TEST(GoldenDigestTest, HwAtariRamFeedForward)
+{
+    expectGolden("AirRaid-ram-v0", true, 0xdb908a1c665f3ccbull,
+                 nn::NumericsTier::HwFaithful);
+}
+
+TEST(GoldenDigestTest, HwAtariRamRecurrent)
+{
+    expectGolden("AirRaid-ram-v0", false, 0x197a2a52e20c5f9dull,
+                 nn::NumericsTier::HwFaithful);
+}
+
+TEST(GoldenDigestTest, ResumedHwCartPoleFeedForward)
+{
+    expectGoldenResumed("CartPole_v0", true, 2, 0x6ea0b26adbe4d5ccull,
+                        nn::NumericsTier::HwFaithful);
+}
+
+TEST(GoldenDigestTest, ResumedHwCartPoleRecurrent)
+{
+    expectGoldenResumed("CartPole_v0", false, 2, 0x67a36c8719ceec4dull,
+                        nn::NumericsTier::HwFaithful);
+}
+
+TEST(GoldenDigestTest, ResumedHwAtariRamFeedForward)
+{
+    expectGoldenResumed("AirRaid-ram-v0", true, 3, 0xdb908a1c665f3ccbull,
+                        nn::NumericsTier::HwFaithful);
+}
+
+TEST(GoldenDigestTest, ResumedHwAtariRamRecurrent)
+{
+    expectGoldenResumed("AirRaid-ram-v0", false, 3, 0x197a2a52e20c5f9dull,
+                        nn::NumericsTier::HwFaithful);
 }

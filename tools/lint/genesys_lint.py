@@ -13,6 +13,9 @@ nearly broken) in practice:
     in fitness or evolution logic;
   * nothing digest-relevant iterates an unordered container;
   * gene storage stays on the flat SoA maps (the PR-3 regression guard);
+  * the src/nn/ eval path never calls libm transcendentals directly
+    (the HwFaithful tier's vectorization contract; the reference
+    activations in src/neat/ are the one sanctioned home for libm);
   * user-facing output goes through common/logging, not raw stdio;
   * headers keep include guards and never open namespaces;
   * mutable global state, manual mutex calls, ad-hoc threads and
@@ -234,6 +237,31 @@ def check_map_gene_storage(ctx):
                 "node-per-gene containers")
 
 
+def check_libm_in_hot_path(ctx):
+    # The HwFaithful tier's speedup contract (src/nn/hw_activations.hh)
+    # is that nothing under src/nn/ calls a libm transcendental: the
+    # per-lane activation loops only vectorize because every
+    # sigmoid/tanh/exp goes through the branch-free rational/
+    # truncated-series cores, and one stray std::exp reintroduces the
+    # scalar call that is the eval-path floor on small policies. The
+    # reference formulas live in src/neat/activations.cc — outside this
+    # scope by design — and nn code reaches them via neat::activate.
+    if not ctx.path.startswith("src/nn/"):
+        return
+    pat = re.compile(r"\bstd::(tanh|exp|exp2|expm1|sigmoid)[fl]?\s*\(")
+    for lineno, line in enumerate(ctx.code_lines, start=1):
+        if pat.search(line):
+            yield Finding(
+                ctx.path, lineno, None,
+                "libm transcendental in the src/nn/ hot path: use the "
+                "branch-free cores in nn/hw_activations.hh (hw tier) or "
+                "neat::activate (reference tier); a raw libm call "
+                "defeats vectorization and is the scalar floor the "
+                "HwFaithful tier exists to remove. Annotate with "
+                "genesys-lint: allow(libm-in-hot-path, <why>) if the "
+                "site is off the per-step eval path")
+
+
 def check_raw_stdio(ctx):
     if ctx.path.startswith(("src/common/logging", "examples/", "bench/",
                             "tests/")):
@@ -384,6 +412,11 @@ RULES = [
      "No std::map gene storage reintroduced in src/neat/ or src/nn/ "
      "hot paths (post-PR-3 flat SoA regression guard)",
      check_map_gene_storage),
+    ("libm-in-hot-path",
+     "No raw std::tanh/std::exp/std::sigmoid in src/nn/: eval-path "
+     "transcendentals go through nn/hw_activations.hh cores or "
+     "neat::activate (reference TU src/neat/activations.cc is exempt)",
+     check_libm_in_hot_path),
     ("raw-stdio",
      "No printf/std::cout/std::cerr outside src/common/logging (and "
      "examples//bench/); use inform/warn/fatal/panic",
